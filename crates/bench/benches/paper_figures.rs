@@ -1,0 +1,121 @@
+//! Criterion benchmarks that regenerate each data-carrying figure and table
+//! of the SkyByte paper.
+//!
+//! Every benchmark iteration executes the corresponding experiment of
+//! [`skybyte_sim::experiments`] end to end (all simulations behind that
+//! figure) at a micro scale, so `cargo bench` both exercises the full harness
+//! and reports how long each figure takes to regenerate. Use the `figures`
+//! binary for larger, more faithful scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skybyte_sim::experiments as exp;
+use skybyte_sim::ExperimentScale;
+use std::time::Duration;
+
+/// A deliberately small scale so each figure regenerates in well under a
+/// second per iteration in release mode.
+fn micro_scale() -> ExperimentScale {
+    ExperimentScale::tiny().with_accesses_per_thread(120)
+}
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group
+}
+
+fn bench_motivation_figures(c: &mut Criterion) {
+    let scale = micro_scale();
+    let mut group = configure(c);
+    group.bench_function("figure_02_dram_vs_cssd", |b| {
+        b.iter(|| exp::fig02_dram_vs_cssd(&scale))
+    });
+    group.bench_function("figure_03_latency_distribution", |b| {
+        b.iter(|| exp::fig03_latency_distribution(&scale))
+    });
+    group.bench_function("figure_04_boundedness", |b| {
+        b.iter(|| exp::fig04_boundedness(&scale))
+    });
+    group.bench_function("figure_05_read_locality_cdf", |b| {
+        b.iter(|| exp::fig05_06_locality_cdf(&scale, false))
+    });
+    group.bench_function("figure_06_write_locality_cdf", |b| {
+        b.iter(|| exp::fig05_06_locality_cdf(&scale, true))
+    });
+    group.finish();
+}
+
+fn bench_design_figures(c: &mut Criterion) {
+    let scale = micro_scale();
+    let mut group = configure(c);
+    group.bench_function("figure_09_threshold_sweep", |b| {
+        b.iter(|| exp::fig09_threshold_sweep(&scale))
+    });
+    group.bench_function("figure_10_sched_policies", |b| {
+        b.iter(|| exp::fig10_sched_policies(&scale))
+    });
+    group.finish();
+}
+
+fn bench_main_evaluation_figures(c: &mut Criterion) {
+    let scale = micro_scale();
+    let mut group = configure(c);
+    group.bench_function("figure_14_main_ablation", |b| {
+        b.iter(|| exp::fig14_main_ablation(&scale))
+    });
+    group.bench_function("figure_15_thread_scaling", |b| {
+        b.iter(|| exp::fig15_thread_scaling(&scale))
+    });
+    group.bench_function("figure_16_request_breakdown", |b| {
+        b.iter(|| exp::fig16_request_breakdown(&scale))
+    });
+    group.bench_function("figure_17_amat", |b| b.iter(|| exp::fig17_amat(&scale)));
+    group.bench_function("figure_18_write_traffic", |b| {
+        b.iter(|| exp::fig18_write_traffic(&scale))
+    });
+    group.finish();
+}
+
+fn bench_sensitivity_figures(c: &mut Criterion) {
+    let scale = micro_scale();
+    let mut group = configure(c);
+    group.bench_function("figure_19_20_write_log_sweep", |b| {
+        b.iter(|| exp::fig19_20_write_log_sweep(&scale))
+    });
+    group.bench_function("figure_21_dram_size_sweep", |b| {
+        b.iter(|| exp::fig21_dram_size_sweep(&scale))
+    });
+    group.bench_function("figure_22_flash_latency_sweep", |b| {
+        b.iter(|| exp::fig22_flash_latency_sweep(&scale))
+    });
+    group.bench_function("figure_23_migration_mechanisms", |b| {
+        b.iter(|| exp::fig23_migration_mechanisms(&scale))
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let scale = micro_scale();
+    let mut group = configure(c);
+    group.bench_function("table_1_workloads", |b| b.iter(exp::table1_workloads));
+    group.bench_function("table_2_parameters", |b| b.iter(exp::table2_parameters));
+    group.bench_function("table_3_flash_read_latency", |b| {
+        b.iter(|| exp::table3_flash_read_latency(&scale))
+    });
+    group.bench_function("table_4_nand_parameters", |b| {
+        b.iter(exp::table4_nand_parameters)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper_figures,
+    bench_motivation_figures,
+    bench_design_figures,
+    bench_main_evaluation_figures,
+    bench_sensitivity_figures,
+    bench_tables
+);
+criterion_main!(paper_figures);

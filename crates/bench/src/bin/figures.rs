@@ -1,0 +1,99 @@
+//! Regenerates the data series of every table and figure of the SkyByte
+//! paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p skybyte-bench --bin figures -- --all
+//! cargo run --release -p skybyte-bench --bin figures -- --fig 14 --scale bench
+//! cargo run --release -p skybyte-bench --bin figures -- --table 3 --json
+//! ```
+//!
+//! Figures 1, 7, 8, 11, 12 and 13 are architecture diagrams without data
+//! series and are therefore not listed.
+
+use skybyte_bench::figures_scale;
+use skybyte_sim::report::{render_figure, render_table, DATA_FIGURES};
+use skybyte_sim::ExperimentScale;
+use std::process::ExitCode;
+
+struct Options {
+    figures: Vec<u32>,
+    tables: Vec<u32>,
+    scale: ExperimentScale,
+    all: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        figures: Vec::new(),
+        tables: Vec::new(),
+        scale: ExperimentScale::bench(),
+        all: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => opts.all = true,
+            "--fig" | "--figure" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .ok_or("--fig requires a number")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("invalid figure number: {e}"))?;
+                opts.figures.push(n);
+            }
+            "--table" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .ok_or("--table requires a number")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("invalid table number: {e}"))?;
+                opts.tables.push(n);
+            }
+            "--scale" => {
+                i += 1;
+                let name = args.get(i).ok_or("--scale requires a name")?;
+                opts.scale = figures_scale(name)
+                    .ok_or_else(|| format!("unknown scale '{name}' (tiny|bench|default)"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--all] [--fig N]... [--table N]... [--scale tiny|bench|default]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if !opts.all && opts.figures.is_empty() && opts.tables.is_empty() {
+        // Default: the headline results.
+        opts.figures = vec![14, 18];
+        opts.tables = vec![1, 3];
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (figures, tables) = if opts.all {
+        (DATA_FIGURES.to_vec(), vec![1, 2, 3, 4])
+    } else {
+        (opts.figures, opts.tables)
+    };
+    for t in tables {
+        println!("{}", render_table(t, &opts.scale));
+    }
+    for f in figures {
+        println!("{}", render_figure(f, &opts.scale));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for the SkyByte benchmark harness.
+//!
+//! The actual deliverables of this crate are:
+//!
+//! * `cargo run -p skybyte-bench --bin figures [-- --fig N | --table N | --all]`
+//!   — regenerates the data series of every table and figure of the paper's
+//!   evaluation section and prints them as plain-text tables (optionally as
+//!   JSON with `--json`);
+//! * `cargo bench -p skybyte-bench` — Criterion benchmarks: one group per
+//!   headline evaluation figure (at a reduced scale so the suite finishes on
+//!   a laptop) plus microbenchmarks of the core data structures (write-log
+//!   append/lookup/compaction, FTL writes with GC, data-cache operations,
+//!   scheduler picks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use skybyte_sim::ExperimentScale;
+
+/// The scale used by the Criterion figure benchmarks: small enough that one
+/// simulation takes well under a second.
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale::bench().with_accesses_per_thread(1_500)
+}
+
+/// The scale used by the `figures` binary by default (can be overridden with
+/// `--scale tiny|bench|default`).
+pub fn figures_scale(name: &str) -> Option<ExperimentScale> {
+    match name {
+        "tiny" => Some(ExperimentScale::tiny()),
+        "bench" => Some(ExperimentScale::bench()),
+        "default" | "paper" => Some(ExperimentScale::default_scale()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_resolve_by_name() {
+        assert!(figures_scale("tiny").is_some());
+        assert!(figures_scale("bench").is_some());
+        assert!(figures_scale("default").is_some());
+        assert!(figures_scale("paper").is_some());
+        assert!(figures_scale("bogus").is_none());
+        assert!(bench_scale().accesses_per_thread <= 2_000);
+    }
+}

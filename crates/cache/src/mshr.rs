@@ -1,0 +1,193 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! MSHRs track outstanding misses and coalesce concurrent requests for the
+//! same unit (a cacheline in the host LLC, a flash page in the SSD
+//! controller). SkyByte relies on them in two places:
+//!
+//! * the host LLC MSHRs identify which load instruction is waiting for a CXL
+//!   response so the `SkyByte-Delay` hint can be routed to the right core
+//!   (step C3 of Figure 7), and are freed eagerly when a context switch
+//!   squashes the instruction (§III-A);
+//! * the SSD controller MSHRs merge reads to a page that is already being
+//!   fetched from flash.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Result of trying to allocate an MSHR for a missing unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MshrOutcome {
+    /// No MSHR existed for this unit: a new one was allocated and the fetch
+    /// must be issued.
+    NewMiss,
+    /// A fetch for this unit is already in flight: the waiter was merged.
+    Merged,
+    /// All MSHRs are occupied: the request must stall and retry.
+    Full,
+}
+
+/// A bounded file of miss-status holding registers keyed by `K` and carrying
+/// waiter identifiers of type `W`.
+///
+/// # Example
+///
+/// ```
+/// use skybyte_cache::{MshrFile, MshrOutcome};
+///
+/// let mut mshrs: MshrFile<u64, u32> = MshrFile::new(2);
+/// assert_eq!(mshrs.allocate(100, 1), MshrOutcome::NewMiss);
+/// assert_eq!(mshrs.allocate(100, 2), MshrOutcome::Merged);
+/// assert_eq!(mshrs.allocate(200, 3), MshrOutcome::NewMiss);
+/// assert_eq!(mshrs.allocate(300, 4), MshrOutcome::Full);
+/// assert_eq!(mshrs.complete(&100), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MshrFile<K: Eq + Hash, W> {
+    capacity: usize,
+    entries: HashMap<K, Vec<W>>,
+    peak_occupancy: usize,
+    merged: u64,
+    rejected: u64,
+}
+
+impl<K: Eq + Hash + Clone, W> MshrFile<K, W> {
+    /// Creates an MSHR file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be at least 1");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+            peak_occupancy: 0,
+            merged: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Attempts to allocate (or merge into) an MSHR for `key`, registering
+    /// `waiter` to be woken on completion.
+    pub fn allocate(&mut self, key: K, waiter: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&key) {
+            waiters.push(waiter);
+            self.merged += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.rejected += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(key, vec![waiter]);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::NewMiss
+    }
+
+    /// Completes the miss for `key`, freeing its MSHR and returning the
+    /// waiters to wake (empty if no MSHR was allocated).
+    pub fn complete(&mut self, key: &K) -> Vec<W> {
+        self.entries.remove(key).unwrap_or_default()
+    }
+
+    /// Whether a fetch for `key` is in flight.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Removes a single waiter from the MSHR of `key` (eager MSHR release
+    /// when a context switch squashes the instruction, §III-A). The MSHR
+    /// itself is freed when its last waiter is removed, returning `true`.
+    pub fn remove_waiter(&mut self, key: &K, pred: impl Fn(&W) -> bool) -> bool {
+        if let Some(waiters) = self.entries.get_mut(key) {
+            waiters.retain(|w| !pred(w));
+            if waiters.is_empty() {
+                self.entries.remove(key);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of occupied MSHRs.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Maximum number of MSHRs observed occupied at once.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Whether all MSHRs are occupied.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of requests merged into existing MSHRs.
+    pub fn merged_count(&self) -> u64 {
+        self.merged
+    }
+
+    /// Number of requests rejected because the file was full.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_complete() {
+        let mut m: MshrFile<u64, &'static str> = MshrFile::new(4);
+        assert_eq!(m.allocate(1, "a"), MshrOutcome::NewMiss);
+        assert_eq!(m.allocate(1, "b"), MshrOutcome::Merged);
+        assert!(m.contains(&1));
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.complete(&1), vec!["a", "b"]);
+        assert!(!m.contains(&1));
+        assert!(m.complete(&1).is_empty());
+        assert_eq!(m.merged_count(), 1);
+    }
+
+    #[test]
+    fn full_rejects_new_misses_but_merges() {
+        let mut m: MshrFile<u64, u32> = MshrFile::new(2);
+        m.allocate(1, 1);
+        m.allocate(2, 2);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(3, 3), MshrOutcome::Full);
+        // Merging into an existing entry is still allowed when full.
+        assert_eq!(m.allocate(1, 4), MshrOutcome::Merged);
+        assert_eq!(m.rejected_count(), 1);
+        assert_eq!(m.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn eager_waiter_removal_frees_mshr() {
+        let mut m: MshrFile<u64, u32> = MshrFile::new(2);
+        m.allocate(5, 10);
+        m.allocate(5, 11);
+        // Removing one waiter keeps the MSHR.
+        assert!(!m.remove_waiter(&5, |w| *w == 10));
+        assert!(m.contains(&5));
+        // Removing the last waiter frees it.
+        assert!(m.remove_waiter(&5, |w| *w == 11));
+        assert!(!m.contains(&5));
+        assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _: MshrFile<u64, u32> = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,451 @@
+//! The full-system simulation engine.
+//!
+//! The engine advances a set of cores in global time order (always stepping
+//! the core with the smallest local clock). Each step executes one work unit
+//! of the thread running on that core: a compute burst followed by one
+//! off-chip memory access resolved through the OS page table — either to
+//! host DRAM or, over the CXL port, to the SSD controller. When the SSD
+//! answers with a `SkyByte-Delay` hint and the coordinated context switch is
+//! enabled, the access is squashed, the thread blocks until the data is
+//! expected in SSD DRAM, and the scheduler picks another thread for the core
+//! (Figure 7). Page migrations run in the background between accesses.
+
+use crate::metrics::{AmatBreakdown, RequestBreakdown, SimResult};
+use crate::migration::{MigrationContext, MigrationEngine};
+use crate::scale::ExperimentScale;
+use crate::thread_exec::ThreadExecutor;
+use skybyte_cpu::{Boundedness, CoreTimingModel, HostDram};
+use skybyte_cxl::CxlPort;
+use skybyte_os::{BlockReason, PagePlacement, PageTable, Scheduler, Tlb};
+use skybyte_ssd::{ServedBy, SsdController};
+use skybyte_types::{LatencyHistogram, Lpa, Nanos, PageNumber, SimConfig, VariantKind};
+use skybyte_workloads::WorkloadKind;
+
+/// How often (in classified memory accesses) the background migration policy
+/// gets a chance to promote a page.
+const MIGRATION_PERIOD_ACCESSES: u64 = 64;
+
+/// A fully configured simulation, ready to [`run`](Simulation::run).
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cfg: SimConfig,
+    workload: WorkloadKind,
+    scale: ExperimentScale,
+}
+
+impl Simulation {
+    /// Builds a simulation of `variant` running `workload` at the given
+    /// scale, using the paper's Table II configuration for everything the
+    /// scale does not override.
+    pub fn build(variant: VariantKind, workload: WorkloadKind, scale: &ExperimentScale) -> Self {
+        let cfg = scale.apply(SimConfig::default().with_variant(variant));
+        Simulation {
+            cfg,
+            workload,
+            scale: *scale,
+        }
+    }
+
+    /// Builds a simulation from an explicit configuration (for sensitivity
+    /// sweeps that tweak individual knobs).
+    pub fn with_config(cfg: SimConfig, workload: WorkloadKind, scale: &ExperimentScale) -> Self {
+        Simulation {
+            cfg,
+            workload,
+            scale: *scale,
+        }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the configuration (tweak knobs before running).
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.cfg
+    }
+
+    /// The workload being simulated.
+    pub fn workload(&self) -> WorkloadKind {
+        self.workload
+    }
+
+    /// Runs the simulation to completion and returns its metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn run(&self) -> SimResult {
+        let cfg = &self.cfg;
+        cfg.validate().expect("invalid simulation configuration");
+        let cores = cfg.cpu.cores as usize;
+        let threads = cfg.threads;
+        let spec = self.scale.workload_spec(self.workload);
+
+        let core_model = CoreTimingModel::new(&cfg.cpu);
+        let mut ssd = SsdController::new(cfg);
+        let mut port = CxlPort::new(cfg.ssd.cxl_protocol_latency, cfg.ssd.link_bandwidth_bps);
+        let mut host_dram = HostDram::new(&cfg.host_dram);
+        let mut sched = Scheduler::new(
+            cfg.sched_policy,
+            cfg.context_switch_overhead,
+            self.scale.seed,
+        );
+        let mut page_table = PageTable::new();
+        let mut tlb = Tlb::new(1536, Nanos::new(30));
+        let mut migration = MigrationEngine::new(cfg);
+        // The total amount of work is fixed per workload and scale
+        // (`accesses_per_thread` × cores), independent of how many threads it
+        // is divided among — the paper's traces "represent the same section
+        // of the program" regardless of the thread count (§VI-A).
+        let total_units = self.scale.accesses_per_thread * cfg.cpu.cores as u64;
+        let per_thread_budget = (total_units / threads as u64).max(1);
+        let mut execs: Vec<ThreadExecutor> = (0..threads)
+            .map(|t| ThreadExecutor::new(&spec, t, threads, self.scale.seed, per_thread_budget))
+            .collect();
+        for _ in 0..threads {
+            sched.spawn();
+        }
+
+        // Precondition the SSD so garbage collection can trigger (§VI-A).
+        if !cfg.infinite_host_dram {
+            let footprint_pages = spec.footprint_pages();
+            let precondition_pages = ((footprint_pages as f64
+                * self.scale.precondition_fraction) as u64)
+                .min(ssd.logical_pages());
+            ssd.precondition((0..precondition_pages).map(Lpa::new));
+        }
+
+        let mut core_clock = vec![Nanos::ZERO; cores];
+        let mut boundedness = vec![Boundedness::default(); cores];
+        let mut amat = AmatBreakdown::default();
+        let mut requests = RequestBreakdown::default();
+        let mut hist = LatencyHistogram::new();
+        let mut instructions: u64 = 0;
+
+        let max_steps = threads as u64 * self.scale.accesses_per_thread * 64 + 1_000_000;
+        let mut steps: u64 = 0;
+
+        while !sched.all_finished() {
+            steps += 1;
+            if steps > max_steps {
+                break;
+            }
+            let core = (0..cores)
+                .min_by_key(|&c| core_clock[c])
+                .expect("at least one core");
+            let now = core_clock[core];
+
+            // Make sure a thread is running on this core.
+            let tid = match sched.running_on(core as u32) {
+                Some(t) => t,
+                None => match sched.schedule_on(core as u32, now) {
+                    Some(t) => t,
+                    None => {
+                        // Nothing runnable: idle until the next wake-up.
+                        let wake = sched
+                            .next_wakeup()
+                            .unwrap_or(now + Nanos::from_micros(1))
+                            .max(now + Nanos::new(100));
+                        boundedness[core].idle += wake - now;
+                        core_clock[core] = wake;
+                        continue;
+                    }
+                },
+            };
+
+            let unit = match execs[tid.0 as usize].next_unit() {
+                Some(u) => u,
+                None => {
+                    sched.finish_thread(tid);
+                    continue;
+                }
+            };
+
+            // Compute burst.
+            let compute = core_model.compute_time(unit.instructions);
+            instructions += unit.instructions;
+            boundedness[core].compute += compute;
+            sched.account_runtime(tid, compute);
+            let mut t = now + compute;
+
+            // Address translation.
+            let vpage = unit.access.addr.page();
+            let walk = tlb.access(vpage);
+            boundedness[core].memory += walk;
+            t += walk;
+            let placement = if cfg.infinite_host_dram {
+                PagePlacement::HostDram(PageNumber(vpage.index()))
+            } else {
+                page_table.translate(vpage)
+            };
+
+            match placement {
+                PagePlacement::HostDram(_) => {
+                    let done = host_dram.access(t);
+                    let latency = done - t;
+                    let stall = core_model.effective_stall(latency);
+                    boundedness[core].memory += stall;
+                    sched.account_runtime(tid, stall);
+                    t += stall;
+                    amat.host_dram += latency;
+                    amat.accesses += 1;
+                    requests.host += 1;
+                    hist.record(latency);
+                    if !cfg.infinite_host_dram {
+                        migration.record_host_access(Lpa::new(vpage.index()));
+                    }
+                }
+                PagePlacement::CxlSsd(lpa) => {
+                    let cl = unit.access.addr.cacheline_in_page() as u8;
+                    let arrival = port.deliver_request(t);
+                    let outcome = if unit.access.kind.is_write() {
+                        ssd.handle_write(lpa, cl, arrival)
+                    } else {
+                        ssd.handle_read(lpa, cl, arrival)
+                    };
+                    migration.record_ssd_access(lpa, t);
+                    let will_switch = outcome.delay_hint && cfg.device_triggered_ctx_swt;
+                    if !will_switch {
+                        // Squashed accesses are excluded; their replays are
+                        // classified when they retire (§VI-D).
+                        if unit.access.kind.is_write() {
+                            requests.ssd_write += 1;
+                        } else if outcome.served_by == ServedBy::Flash {
+                            requests.ssd_read_miss += 1;
+                        } else {
+                            requests.ssd_read_hit += 1;
+                        }
+                    }
+
+                    if will_switch {
+                        // Long Delay Exception: squash, block, switch.
+                        let cs = cfg.context_switch_overhead;
+                        boundedness[core].context_switch += cs;
+                        execs[tid.0 as usize].push_back(unit);
+                        let wake = outcome.ready_at.max(outcome.estimated_ready_at);
+                        sched.yield_current(core as u32, t, wake, BlockReason::LongSsdAccess);
+                        t += cs;
+                        // The squashed access is excluded from AMAT (§VI-D).
+                    } else {
+                        let response = if unit.access.kind.is_write() {
+                            port.deliver_request(outcome.ready_at)
+                        } else {
+                            port.deliver_cacheline(outcome.ready_at)
+                        };
+                        let latency = response.saturating_sub(t);
+                        let stall = core_model.effective_stall(latency);
+                        boundedness[core].memory += stall;
+                        sched.account_runtime(tid, stall);
+                        t += stall;
+                        amat.cxl_protocol += cfg.ssd.cxl_protocol_latency * 2;
+                        amat.indexing += outcome.breakdown.indexing;
+                        amat.ssd_dram += outcome.breakdown.ssd_dram;
+                        amat.flash += outcome.breakdown.flash;
+                        amat.accesses += 1;
+                        hist.record(latency);
+
+                        if outcome.served_by == ServedBy::Flash {
+                            let mut ctx = MigrationContext {
+                                ssd: &mut ssd,
+                                page_table: &mut page_table,
+                                tlb: &mut tlb,
+                                port: &mut port,
+                                host_dram: &mut host_dram,
+                            };
+                            migration.on_demand_fill(lpa, t, &mut ctx);
+                        }
+                    }
+
+                    if migration.enabled() && requests.total() % MIGRATION_PERIOD_ACCESSES == 0 {
+                        let mut ctx = MigrationContext {
+                            ssd: &mut ssd,
+                            page_table: &mut page_table,
+                            tlb: &mut tlb,
+                            port: &mut port,
+                            host_dram: &mut host_dram,
+                        };
+                        migration.run(t, &mut ctx);
+                    }
+                }
+            }
+
+            core_clock[core] = t;
+            if execs[tid.0 as usize].is_finished() && sched.running_on(core as u32) == Some(tid) {
+                sched.finish_thread(tid);
+            }
+        }
+
+        let exec_time = core_clock.iter().copied().fold(Nanos::ZERO, Nanos::max);
+        // Flush all dirty state (cached dirty pages / the write log) so the
+        // flash write traffic of page-granular and log-structured designs is
+        // compared on equal footing.
+        ssd.flush_all(exec_time);
+        let mut total_boundedness = Boundedness::default();
+        for b in &boundedness {
+            total_boundedness.merge(b);
+        }
+
+        SimResult {
+            variant: cfg.variant,
+            workload: spec.name().to_string(),
+            threads,
+            cores: cfg.cpu.cores,
+            exec_time,
+            instructions,
+            boundedness: total_boundedness,
+            amat,
+            requests,
+            latency_hist: hist,
+            flash_pages_programmed: ssd.flash_stats().pages_programmed,
+            flash_pages_read: ssd.flash_stats().pages_read,
+            avg_flash_read_latency: ssd.flash_stats().avg_read_latency(),
+            write_amplification: ssd.ftl_stats().write_amplification(),
+            context_switches: sched.stats().context_switches,
+            pages_promoted: migration.stats().promotions,
+            pages_demoted: migration.stats().demotions,
+            compactions: ssd.stats().compactions,
+            log_index_bytes: ssd.write_log_index_bytes().unwrap_or(0),
+            flash_busy_time: ssd.flash_busy_time(),
+            flash_channels: cfg.ssd.geometry.channels,
+            gc_campaigns: ssd.ftl_stats().gc_campaigns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(variant: VariantKind, workload: WorkloadKind) -> SimResult {
+        Simulation::build(variant, workload, &ExperimentScale::tiny()).run()
+    }
+
+    #[test]
+    fn every_variant_completes_on_a_sample_workload() {
+        for variant in [
+            VariantKind::BaseCssd,
+            VariantKind::SkyByteC,
+            VariantKind::SkyByteP,
+            VariantKind::SkyByteW,
+            VariantKind::SkyByteCP,
+            VariantKind::SkyByteWP,
+            VariantKind::SkyByteFull,
+            VariantKind::DramOnly,
+            VariantKind::SkyByteCT,
+            VariantKind::SkyByteWCT,
+            VariantKind::AstriFlashCxl,
+        ] {
+            let r = run(variant, WorkloadKind::Ycsb);
+            assert!(r.exec_time > Nanos::ZERO, "{variant}: zero exec time");
+            assert!(r.total_accesses() > 0, "{variant}: no accesses");
+            assert_eq!(r.variant, variant);
+        }
+    }
+
+    #[test]
+    fn dram_only_is_the_fastest_and_base_cssd_the_slowest() {
+        // The Figure 2 / Figure 14 shape: DRAM-Only ≪ SkyByte-Full < Base.
+        let base = run(VariantKind::BaseCssd, WorkloadKind::Bc);
+        let full = run(VariantKind::SkyByteFull, WorkloadKind::Bc);
+        let dram = run(VariantKind::DramOnly, WorkloadKind::Bc);
+        assert!(
+            dram.exec_time < full.exec_time,
+            "DRAM-Only ({}) should beat SkyByte-Full ({})",
+            dram.exec_time,
+            full.exec_time
+        );
+        assert!(
+            full.exec_time < base.exec_time,
+            "SkyByte-Full ({}) should beat Base-CSSD ({})",
+            full.exec_time,
+            base.exec_time
+        );
+        // DRAM-only never touches the SSD.
+        assert_eq!(dram.requests.ssd_read_miss, 0);
+        assert_eq!(dram.requests.host, dram.total_accesses());
+    }
+
+    #[test]
+    fn write_log_reduces_flash_write_traffic() {
+        // The Figure 18 shape for a write-heavy workload.
+        let base = run(VariantKind::BaseCssd, WorkloadKind::Tpcc);
+        let w = run(VariantKind::SkyByteW, WorkloadKind::Tpcc);
+        assert!(
+            w.flash_pages_programmed < base.flash_pages_programmed,
+            "write log must reduce flash programs: {} vs {}",
+            w.flash_pages_programmed,
+            base.flash_pages_programmed
+        );
+        assert!(w.compactions > 0 || w.flash_pages_programmed == 0);
+        assert!(w.log_index_bytes > 0);
+    }
+
+    #[test]
+    fn context_switches_only_happen_with_the_mechanism_enabled() {
+        let base = run(VariantKind::BaseCssd, WorkloadKind::Srad);
+        let c = run(VariantKind::SkyByteC, WorkloadKind::Srad);
+        assert_eq!(base.context_switches, 0);
+        assert!(c.context_switches > 0, "SkyByte-C must context switch");
+        assert!(c.boundedness.context_switch > Nanos::ZERO);
+    }
+
+    #[test]
+    fn promotion_only_happens_with_migration_enabled() {
+        let base = run(VariantKind::BaseCssd, WorkloadKind::Ycsb);
+        let p = run(VariantKind::SkyByteP, WorkloadKind::Ycsb);
+        assert_eq!(base.pages_promoted, 0);
+        assert!(p.pages_promoted > 0, "SkyByte-P must promote hot pages");
+        assert!(p.requests.host > 0, "promoted pages must serve host hits");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(VariantKind::SkyByteFull, WorkloadKind::Dlrm);
+        let b = run(VariantKind::SkyByteFull, WorkloadKind::Dlrm);
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.flash_pages_programmed, b.flash_pages_programmed);
+        assert_eq!(a.context_switches, b.context_switches);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn boundedness_is_dominated_by_memory_on_the_baseline() {
+        // Figure 4: with a CXL-SSD the workloads are 77–99.8 % memory bound.
+        let base = run(VariantKind::BaseCssd, WorkloadKind::BfsDense);
+        assert!(
+            base.boundedness.memory_fraction() > 0.6,
+            "expected memory-bound execution, got {:.2}",
+            base.boundedness.memory_fraction()
+        );
+    }
+
+    #[test]
+    fn amat_improves_with_skybyte() {
+        let base = run(VariantKind::BaseCssd, WorkloadKind::Srad);
+        let full = run(VariantKind::SkyByteFull, WorkloadKind::Srad);
+        assert!(full.amat.amat() < base.amat.amat());
+        assert!(base.amat.accesses > 0 && full.amat.accesses > 0);
+    }
+
+    #[test]
+    fn custom_config_knobs_are_respected() {
+        let scale = ExperimentScale::tiny();
+        let mut cfg = scale.apply(
+            SimConfig::default()
+                .with_variant(VariantKind::SkyByteFull)
+                .with_threads(4)
+                .with_cores(2),
+        );
+        cfg.cs_threshold = Nanos::from_micros(80);
+        let sim = Simulation::with_config(cfg, WorkloadKind::Radix, &scale);
+        let r = sim.run();
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.cores, 2);
+        // A very high threshold suppresses almost every context switch for
+        // ULL flash (only GC-blocked accesses still trigger).
+        let low = Simulation::build(VariantKind::SkyByteFull, WorkloadKind::Radix, &scale).run();
+        assert!(r.context_switches <= low.context_switches);
+    }
+}

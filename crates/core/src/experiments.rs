@@ -1,0 +1,829 @@
+//! Regeneration of every table and figure of the paper's evaluation section.
+//!
+//! Each `figNN_*` / `tableN_*` function runs the required set of simulations
+//! at a given [`ExperimentScale`] and returns an [`ExperimentTable`] whose
+//! rows/columns correspond to the series plotted in the paper. The
+//! `skybyte-bench` crate prints these tables (`cargo run -p skybyte-bench
+//! --bin figures`) and wraps them in Criterion benchmarks; `EXPERIMENTS.md`
+//! records the measured values next to the paper's numbers.
+//!
+//! The absolute magnitudes differ from the paper (scaled-down devices and
+//! synthetic traces, see [`crate::scale`]), but each experiment preserves the
+//! paper's comparison: who wins, roughly by how much, and where the
+//! crossovers are.
+
+use crate::engine::Simulation;
+use crate::metrics::{geometric_mean, SimResult};
+use crate::scale::ExperimentScale;
+use serde::{Deserialize, Serialize};
+use skybyte_types::{NandKind, Nanos, SchedPolicy, SimConfig, VariantKind, KIB, MIB};
+use skybyte_workloads::{page_locality_cdf, TraceGenerator, WorkloadKind};
+
+/// A generic result table: one labelled row per entity (workload, variant,
+/// parameter value) and one named column per measured series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentTable {
+    /// Experiment identifier, e.g. `"figure-14"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// `(row label, values)` pairs; `values.len() == columns.len()`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ExperimentTable {
+    fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        ExperimentTable {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        self.rows.push((label.into(), values));
+    }
+
+    /// The value at (row label, column name), if present.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row)
+            .map(|(_, values)| values[col])
+    }
+
+    /// The row labels.
+    pub fn row_labels(&self) -> Vec<&str> {
+        self.rows.iter().map(|(l, _)| l.as_str()).collect()
+    }
+}
+
+/// The seven evaluation workloads of Table I.
+pub const ALL_WORKLOADS: [WorkloadKind; 7] = WorkloadKind::ALL;
+
+/// The four workloads shown in Figures 3 and 9.
+pub const REPRESENTATIVE_WORKLOADS: [WorkloadKind; 4] = [
+    WorkloadKind::Bc,
+    WorkloadKind::BfsDense,
+    WorkloadKind::Srad,
+    WorkloadKind::Tpcc,
+];
+
+fn run(variant: VariantKind, workload: WorkloadKind, scale: &ExperimentScale) -> SimResult {
+    Simulation::build(variant, workload, scale).run()
+}
+
+// ---------------------------------------------------------------------------
+// Motivation figures (§II-C)
+// ---------------------------------------------------------------------------
+
+/// Figure 2: end-to-end execution time with host DRAM vs a baseline CXL-SSD,
+/// normalised to DRAM (the paper reports 1.5–31.4× slowdowns).
+pub fn fig02_dram_vs_cssd(scale: &ExperimentScale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "figure-02",
+        "Execution time: DRAM vs baseline CXL-SSD (normalised to DRAM)",
+        &["dram", "baseline_cxl_ssd"],
+    );
+    for w in ALL_WORKLOADS {
+        let dram = run(VariantKind::DramOnly, w, scale);
+        let cssd = run(VariantKind::BaseCssd, w, scale);
+        t.push(w.name(), vec![1.0, cssd.normalized_exec_time(&dram)]);
+    }
+    t
+}
+
+/// Figure 3: off-chip latency distribution (p50/p90/p99/max, in ns) for DRAM
+/// vs the baseline CXL-SSD on the four representative workloads.
+pub fn fig03_latency_distribution(scale: &ExperimentScale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "figure-03",
+        "Memory latency distribution (ns): DRAM vs CXL-SSD",
+        &["p50", "p90", "p99", "max"],
+    );
+    for w in REPRESENTATIVE_WORKLOADS {
+        for (label, variant) in [("dram", VariantKind::DramOnly), ("cssd", VariantKind::BaseCssd)]
+        {
+            let r = run(variant, w, scale);
+            let h = &r.latency_hist;
+            t.push(
+                format!("{}/{label}", w.name()),
+                vec![
+                    h.percentile(0.5).as_nanos() as f64,
+                    h.percentile(0.9).as_nanos() as f64,
+                    h.percentile(0.99).as_nanos() as f64,
+                    h.max().as_nanos() as f64,
+                ],
+            );
+        }
+    }
+    t
+}
+
+/// Figure 4: fraction of execution bounded by memory vs compute, with DRAM
+/// and with the baseline CXL-SSD.
+pub fn fig04_boundedness(scale: &ExperimentScale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "figure-04",
+        "Memory-bounded fraction of execution time",
+        &["dram_memory_bound", "cssd_memory_bound"],
+    );
+    for w in ALL_WORKLOADS {
+        let dram = run(VariantKind::DramOnly, w, scale);
+        let cssd = run(VariantKind::BaseCssd, w, scale);
+        t.push(
+            w.name(),
+            vec![
+                dram.boundedness.memory_fraction(),
+                cssd.boundedness.memory_fraction(),
+            ],
+        );
+    }
+    t
+}
+
+/// Figures 5 and 6: page-locality CDFs of the workload traces — the fraction
+/// of pages whose read (resp. written) cacheline coverage is below 25 %,
+/// 40 % and 75 %, plus the mean coverage.
+pub fn fig05_06_locality_cdf(scale: &ExperimentScale, write: bool) -> ExperimentTable {
+    let (id, title) = if write {
+        ("figure-06", "Dirty-cacheline coverage CDF of flushed pages")
+    } else {
+        ("figure-05", "Accessed-cacheline coverage CDF of read pages")
+    };
+    let mut t = ExperimentTable::new(
+        id,
+        title,
+        &["pages_le_25pct", "pages_le_40pct", "pages_le_75pct", "mean_coverage"],
+    );
+    for w in [
+        WorkloadKind::Bc,
+        WorkloadKind::Dlrm,
+        WorkloadKind::Radix,
+        WorkloadKind::Ycsb,
+    ] {
+        let spec = scale.workload_spec(w);
+        let mut gen = TraceGenerator::new(&spec, 0, 4, scale.seed);
+        let trace = gen.generate(scale.accesses_per_thread as usize * 2);
+        let (read_cdf, write_cdf) = page_locality_cdf(&trace);
+        let cdf = if write { write_cdf } else { read_cdf };
+        t.push(
+            w.name(),
+            vec![
+                cdf.fraction_of_pages_below(0.25),
+                cdf.fraction_of_pages_below(0.40),
+                cdf.fraction_of_pages_below(0.75),
+                cdf.mean_coverage(),
+            ],
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Design-space figures (§III)
+// ---------------------------------------------------------------------------
+
+/// Figure 9: sensitivity of SkyByte-Full to the context-switch trigger
+/// threshold (2–80 µs), normalised to the 2 µs default.
+pub fn fig09_threshold_sweep(scale: &ExperimentScale) -> ExperimentTable {
+    let thresholds_us = [2u64, 10, 20, 40, 60, 80];
+    let columns: Vec<String> = thresholds_us.iter().map(|t| format!("{t}us")).collect();
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-09",
+        "Execution time vs context-switch trigger threshold (normalised to 2us)",
+        &col_refs,
+    );
+    for w in REPRESENTATIVE_WORKLOADS {
+        let mut times = Vec::new();
+        for &threshold in &thresholds_us {
+            let mut cfg = scale.apply(SimConfig::default().with_variant(VariantKind::SkyByteFull));
+            cfg.cs_threshold = Nanos::from_micros(threshold);
+            times.push(Simulation::with_config(cfg, w, scale).run().exec_time);
+        }
+        let baseline = times[0];
+        t.push(
+            w.name(),
+            times
+                .iter()
+                .map(|x| x.as_nanos() as f64 / baseline.as_nanos() as f64)
+                .collect(),
+        );
+    }
+    t
+}
+
+/// Figure 10: thread-scheduling policies (RR, Random, CFS) under SkyByte,
+/// normalised execution time plus the context-switch share of time.
+pub fn fig10_sched_policies(scale: &ExperimentScale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "figure-10",
+        "Scheduling policy comparison (normalised execution time / CS fraction)",
+        &["rr", "random", "cfs", "cfs_cs_fraction"],
+    );
+    for w in [
+        WorkloadKind::Bc,
+        WorkloadKind::Radix,
+        WorkloadKind::Srad,
+        WorkloadKind::Tpcc,
+    ] {
+        let mut times = Vec::new();
+        let mut cfs_cs_fraction = 0.0;
+        for policy in [SchedPolicy::RoundRobin, SchedPolicy::Random, SchedPolicy::Cfs] {
+            let mut cfg = scale.apply(SimConfig::default().with_variant(VariantKind::SkyByteFull));
+            cfg.sched_policy = policy;
+            let r = Simulation::with_config(cfg, w, scale).run();
+            if policy == SchedPolicy::Cfs {
+                cfs_cs_fraction = r.boundedness.context_switch_fraction();
+            }
+            times.push(r.exec_time.as_nanos() as f64);
+        }
+        let baseline = times[0];
+        t.push(
+            w.name(),
+            vec![
+                times[0] / baseline,
+                times[1] / baseline,
+                times[2] / baseline,
+                cfs_cs_fraction,
+            ],
+        );
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Main evaluation figures (§VI)
+// ---------------------------------------------------------------------------
+
+/// Figure 14: the main ablation — execution time of every SkyByte variant
+/// normalised to Base-CSSD (lower is better), with a geometric-mean row.
+pub fn fig14_main_ablation(scale: &ExperimentScale) -> ExperimentTable {
+    let variants = VariantKind::MAIN_ABLATION;
+    let names: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+    let col_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-14",
+        "Execution time normalised to Base-CSSD (lower is better)",
+        &col_refs,
+    );
+    let mut per_variant_ratios: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for w in ALL_WORKLOADS {
+        let base = run(VariantKind::BaseCssd, w, scale);
+        let mut row = Vec::new();
+        for (i, v) in variants.iter().enumerate() {
+            let r = if *v == VariantKind::BaseCssd {
+                base.normalized_exec_time(&base)
+            } else {
+                run(*v, w, scale).normalized_exec_time(&base)
+            };
+            per_variant_ratios[i].push(r);
+            row.push(r);
+        }
+        t.push(w.name(), row);
+    }
+    t.push(
+        "geo.mean",
+        per_variant_ratios
+            .iter()
+            .map(|v| geometric_mean(v.iter().copied()))
+            .collect(),
+    );
+    t
+}
+
+/// Figure 15: throughput and SSD bandwidth utilisation of SkyByte-Full as the
+/// thread count grows, normalised to SkyByte-WP with 8 threads.
+pub fn fig15_thread_scaling(scale: &ExperimentScale) -> ExperimentTable {
+    let thread_counts = [8u32, 16, 24, 32, 40, 48];
+    let mut columns: Vec<String> = thread_counts
+        .iter()
+        .map(|t| format!("throughput_{t}t"))
+        .collect();
+    columns.push("bandwidth_util_24t".to_string());
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-15",
+        "Throughput vs thread count (normalised to SkyByte-WP, 8 threads)",
+        &col_refs,
+    );
+    for w in ALL_WORKLOADS {
+        let wp8 = run(VariantKind::SkyByteWP, w, scale);
+        let base_tp = wp8.throughput_accesses_per_sec().max(f64::MIN_POSITIVE);
+        let mut row = Vec::new();
+        let mut util_24 = 0.0;
+        for &threads in &thread_counts {
+            let cfg = scale
+                .apply(SimConfig::default().with_variant(VariantKind::SkyByteFull))
+                .with_threads(threads);
+            let r = Simulation::with_config(cfg, w, scale).run();
+            if threads == 24 {
+                util_24 = r.ssd_bandwidth_utilisation();
+            }
+            row.push(r.throughput_accesses_per_sec() / base_tp);
+        }
+        row.push(util_24);
+        t.push(w.name(), row);
+    }
+    t
+}
+
+/// Figure 16: breakdown of memory requests of SkyByte (host DRAM hit, SSD
+/// DRAM read hit, SSD DRAM read miss, SSD write).
+pub fn fig16_request_breakdown(scale: &ExperimentScale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "figure-16",
+        "Memory request breakdown of SkyByte-WP",
+        &["host", "ssd_read_hit", "ssd_read_miss", "ssd_write"],
+    );
+    for w in ALL_WORKLOADS {
+        let r = run(VariantKind::SkyByteWP, w, scale);
+        t.push(
+            w.name(),
+            vec![
+                r.requests.host_fraction(),
+                r.requests.ssd_read_hit_fraction(),
+                r.requests.ssd_read_miss_fraction(),
+                r.requests.ssd_write_fraction(),
+            ],
+        );
+    }
+    t
+}
+
+/// Figure 17: average memory access time of each variant, normalised to
+/// Base-CSSD, plus the flash share of the AMAT for the full design.
+pub fn fig17_amat(scale: &ExperimentScale) -> ExperimentTable {
+    let variants = [
+        VariantKind::BaseCssd,
+        VariantKind::SkyByteP,
+        VariantKind::SkyByteW,
+        VariantKind::SkyByteWP,
+        VariantKind::SkyByteFull,
+        VariantKind::DramOnly,
+    ];
+    let mut names: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+    names.push("full_flash_fraction".to_string());
+    let col_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-17",
+        "AMAT normalised to Base-CSSD, and the flash share for SkyByte-Full",
+        &col_refs,
+    );
+    for w in ALL_WORKLOADS {
+        let base = run(VariantKind::BaseCssd, w, scale);
+        let base_amat = base.amat.amat().as_nanos().max(1) as f64;
+        let mut row = Vec::new();
+        let mut full_flash_fraction = 0.0;
+        for v in variants {
+            let r = if v == VariantKind::BaseCssd {
+                base.clone()
+            } else {
+                run(v, w, scale)
+            };
+            if v == VariantKind::SkyByteFull {
+                full_flash_fraction = r.amat.fractions().fraction("flash");
+            }
+            row.push(r.amat.amat().as_nanos() as f64 / base_amat);
+        }
+        row.push(full_flash_fraction);
+        t.push(w.name(), row);
+    }
+    t
+}
+
+/// Figure 18: flash write traffic of each variant, normalised to Base-CSSD
+/// (the paper reports a 23.08× average reduction for the full design).
+pub fn fig18_write_traffic(scale: &ExperimentScale) -> ExperimentTable {
+    let variants = [
+        VariantKind::BaseCssd,
+        VariantKind::SkyByteP,
+        VariantKind::SkyByteC,
+        VariantKind::SkyByteW,
+        VariantKind::SkyByteCP,
+        VariantKind::SkyByteWP,
+        VariantKind::SkyByteFull,
+    ];
+    let names: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+    let col_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-18",
+        "Flash write traffic normalised to Base-CSSD (lower is better)",
+        &col_refs,
+    );
+    for w in ALL_WORKLOADS {
+        let base = run(VariantKind::BaseCssd, w, scale);
+        let base_writes = base.flash_pages_programmed.max(1) as f64;
+        let mut row = Vec::new();
+        for v in variants {
+            let writes = if v == VariantKind::BaseCssd {
+                base.flash_pages_programmed
+            } else {
+                run(v, w, scale).flash_pages_programmed
+            };
+            row.push(writes as f64 / base_writes);
+        }
+        t.push(w.name(), row);
+    }
+    t
+}
+
+/// Figures 19 and 20: sensitivity of SkyByte-Full to the write-log size; the
+/// returned table carries both normalised execution time and normalised
+/// flash write traffic per size.
+pub fn fig19_20_write_log_sweep(scale: &ExperimentScale) -> ExperimentTable {
+    // Sizes expressed as fractions of the (scaled) total SSD DRAM, mirroring
+    // the paper's 0.5 MB – 256 MB sweep against 512 MB of SSD DRAM.
+    let total = scale.ssd_data_cache_bytes + scale.write_log_bytes;
+    let log_sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|d| (total / 512 * d).max(16 * KIB))
+        .collect();
+    let mut columns = Vec::new();
+    for s in &log_sizes {
+        columns.push(format!("time_log_{}k", s / KIB));
+    }
+    for s in &log_sizes {
+        columns.push(format!("traffic_log_{}k", s / KIB));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-19-20",
+        "Write-log size sweep: normalised execution time and flash write traffic",
+        &col_refs,
+    );
+    for w in ALL_WORKLOADS {
+        let mut times = Vec::new();
+        let mut traffic = Vec::new();
+        for &log in &log_sizes {
+            let sweep_scale = scale.with_ssd_dram(total - log, log);
+            let r = run(VariantKind::SkyByteFull, w, &sweep_scale);
+            times.push(r.exec_time.as_nanos() as f64);
+            traffic.push(r.flash_pages_programmed as f64);
+        }
+        let t0 = times.last().copied().unwrap_or(1.0).max(1.0);
+        let w0 = traffic.last().copied().unwrap_or(1.0).max(1.0);
+        let mut row: Vec<f64> = times.iter().map(|x| x / t0).collect();
+        row.extend(traffic.iter().map(|x| x / w0));
+        t.push(w.name(), row);
+    }
+    t
+}
+
+/// Figure 21: sensitivity to the SSD DRAM cache size (0.125×–2× the default),
+/// for the main variants, normalised to SkyByte-Full at the default size.
+pub fn fig21_dram_size_sweep(scale: &ExperimentScale) -> ExperimentTable {
+    let factors = [0.125f64, 0.25, 0.5, 1.0, 2.0];
+    let variants = [
+        VariantKind::BaseCssd,
+        VariantKind::SkyByteP,
+        VariantKind::SkyByteW,
+        VariantKind::SkyByteWP,
+        VariantKind::SkyByteFull,
+    ];
+    let mut columns = Vec::new();
+    for v in &variants {
+        for f in &factors {
+            columns.push(format!("{v}@{f}x"));
+        }
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-21",
+        "Execution time vs SSD DRAM size (normalised to SkyByte-Full at 1x)",
+        &col_refs,
+    );
+    let total_default = scale.ssd_data_cache_bytes + scale.write_log_bytes;
+    for w in ALL_WORKLOADS {
+        // Reference: SkyByte-Full at the default size.
+        let reference = run(VariantKind::SkyByteFull, w, scale).exec_time.as_nanos() as f64;
+        let mut row = Vec::new();
+        for v in variants {
+            for &f in &factors {
+                let total = ((total_default as f64) * f) as u64;
+                // Keep the 1:7 log:cache ratio and scale the host budget 4:1,
+                // as in §VI-F.
+                let log = (total / 8).max(16 * KIB);
+                let cache = (total - log).max(64 * KIB);
+                let sweep_scale = scale
+                    .with_ssd_dram(cache, log)
+                    .with_host_dram(4 * total.max(MIB));
+                let r = run(v, w, &sweep_scale);
+                row.push(r.exec_time.as_nanos() as f64 / reference.max(1.0));
+            }
+        }
+        t.push(w.name(), row);
+    }
+    t
+}
+
+/// Figure 22: sensitivity to the flash technology (Table IV), with the
+/// thread count of SkyByte-Full varied, normalised to SkyByte-P on ULL.
+pub fn fig22_flash_latency_sweep(scale: &ExperimentScale) -> ExperimentTable {
+    let kinds = NandKind::ALL;
+    let configs: Vec<(String, VariantKind, u32)> = vec![
+        ("SkyByte-P".into(), VariantKind::SkyByteP, 8),
+        ("SkyByte-W".into(), VariantKind::SkyByteW, 8),
+        ("SkyByte-WP".into(), VariantKind::SkyByteWP, 8),
+        ("SkyByte-Full-16".into(), VariantKind::SkyByteFull, 16),
+        ("SkyByte-Full-24".into(), VariantKind::SkyByteFull, 24),
+        ("SkyByte-Full-32".into(), VariantKind::SkyByteFull, 32),
+    ];
+    let mut columns = Vec::new();
+    for k in &kinds {
+        for (name, _, _) in &configs {
+            columns.push(format!("{k}/{name}"));
+        }
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-22",
+        "Execution time vs flash technology (normalised to SkyByte-P on ULL)",
+        &col_refs,
+    );
+    for w in ALL_WORKLOADS {
+        let mut row = Vec::new();
+        let mut reference = 0.0;
+        for kind in kinds {
+            for (i, (_, variant, threads)) in configs.iter().enumerate() {
+                let cfg = scale
+                    .apply(SimConfig::default().with_variant(*variant).with_nand(kind))
+                    .with_threads(*threads);
+                let r = Simulation::with_config(cfg, w, scale).run();
+                let time = r.exec_time.as_nanos() as f64;
+                if kind == NandKind::Ull && i == 0 {
+                    reference = time.max(1.0);
+                }
+                row.push(time / reference.max(1.0));
+            }
+        }
+        t.push(w.name(), row);
+    }
+    t
+}
+
+/// Figure 23: comparison of page-migration mechanisms, normalised to
+/// SkyByte-C, with a geometric-mean row.
+pub fn fig23_migration_mechanisms(scale: &ExperimentScale) -> ExperimentTable {
+    let variants = VariantKind::MIGRATION_COMPARISON;
+    let names: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+    let col_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "figure-23",
+        "Page-migration mechanisms: execution time normalised to SkyByte-C",
+        &col_refs,
+    );
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for w in ALL_WORKLOADS {
+        let reference = run(VariantKind::SkyByteC, w, scale);
+        let mut row = Vec::new();
+        for (i, v) in variants.iter().enumerate() {
+            let ratio = if *v == VariantKind::SkyByteC {
+                1.0
+            } else {
+                run(*v, w, scale).normalized_exec_time(&reference)
+            };
+            per_variant[i].push(ratio);
+            row.push(ratio);
+        }
+        t.push(w.name(), row);
+    }
+    t.push(
+        "geo.mean",
+        per_variant
+            .iter()
+            .map(|v| geometric_mean(v.iter().copied()))
+            .collect(),
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// Table I: workload characteristics (footprint in GiB, write ratio, MPKI).
+pub fn table1_workloads() -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "table-1",
+        "Benchmark characteristics",
+        &["footprint_gib", "write_ratio", "llc_mpki"],
+    );
+    for (name, footprint, write_ratio, mpki) in skybyte_workloads::table1_characteristics() {
+        t.push(
+            name,
+            vec![footprint as f64 / (1u64 << 30) as f64, write_ratio, mpki],
+        );
+    }
+    t
+}
+
+/// Table II: the default simulator parameters (a selection of the numeric
+/// knobs; the full structure is `SimConfig::default()`).
+pub fn table2_parameters() -> ExperimentTable {
+    let cfg = SimConfig::default();
+    let mut t = ExperimentTable::new("table-2", "Simulator parameters (defaults)", &["value"]);
+    t.push("cpu.cores", vec![cfg.cpu.cores as f64]);
+    t.push("cpu.rob_entries", vec![cfg.cpu.rob_entries as f64]);
+    t.push("llc.size_mib", vec![cfg.cpu.llc.size_bytes as f64 / MIB as f64]);
+    t.push("llc.mshrs", vec![cfg.cpu.llc.mshrs as f64]);
+    t.push(
+        "ssd.capacity_gib",
+        vec![cfg.ssd.geometry.total_bytes() as f64 / (1u64 << 30) as f64],
+    );
+    t.push("ssd.channels", vec![cfg.ssd.geometry.channels as f64]);
+    t.push(
+        "flash.read_us",
+        vec![cfg.ssd.flash.read_latency.as_micros_f64()],
+    );
+    t.push(
+        "flash.program_us",
+        vec![cfg.ssd.flash.program_latency.as_micros_f64()],
+    );
+    t.push(
+        "flash.erase_us",
+        vec![cfg.ssd.flash.erase_latency.as_micros_f64()],
+    );
+    t.push(
+        "cxl.protocol_ns",
+        vec![cfg.ssd.cxl_protocol_latency.as_nanos() as f64],
+    );
+    t.push(
+        "ssd.data_cache_mib",
+        vec![cfg.ssd.dram.data_cache_bytes as f64 / MIB as f64],
+    );
+    t.push(
+        "ssd.write_log_mib",
+        vec![cfg.ssd.dram.write_log_bytes as f64 / MIB as f64],
+    );
+    t.push(
+        "host.promotion_budget_gib",
+        vec![cfg.host_dram.promotion_capacity_bytes as f64 / (1u64 << 30) as f64],
+    );
+    t.push("cs.threshold_us", vec![cfg.cs_threshold.as_micros_f64()]);
+    t.push(
+        "cs.overhead_us",
+        vec![cfg.context_switch_overhead.as_micros_f64()],
+    );
+    t.push("gc.threshold", vec![cfg.ssd.gc_threshold]);
+    t
+}
+
+/// Table III: average flash read latency (µs) observed by SkyByte-WP.
+pub fn table3_flash_read_latency(scale: &ExperimentScale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "table-3",
+        "Average flash read latency of SkyByte-WP (us)",
+        &["avg_flash_read_us"],
+    );
+    for w in ALL_WORKLOADS {
+        let r = run(VariantKind::SkyByteWP, w, scale);
+        t.push(w.name(), vec![r.avg_flash_read_latency.as_micros_f64()]);
+    }
+    t
+}
+
+/// Table IV: NAND flash parameters.
+pub fn table4_nand_parameters() -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "table-4",
+        "NAND flash parameters (us)",
+        &["read_us", "program_us", "erase_us"],
+    );
+    for kind in NandKind::ALL {
+        let timing = skybyte_types::FlashTimingConfig::for_kind(kind);
+        t.push(
+            kind.to_string(),
+            vec![
+                timing.read_latency.as_micros_f64(),
+                timing.program_latency.as_micros_f64(),
+                timing.erase_latency.as_micros_f64(),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        // Keep experiment-level tests fast: few accesses, few threads.
+        ExperimentScale::tiny().with_accesses_per_thread(300)
+    }
+
+    #[test]
+    fn fig02_shows_cssd_slowdown() {
+        let t = fig02_dram_vs_cssd(&tiny());
+        assert_eq!(t.rows.len(), 7);
+        for (workload, values) in &t.rows {
+            assert_eq!(values[0], 1.0);
+            assert!(
+                values[1] > 1.2,
+                "{workload}: CXL-SSD should be slower than DRAM, got {}",
+                values[1]
+            );
+        }
+    }
+
+    #[test]
+    fn fig04_cssd_is_more_memory_bound() {
+        let t = fig04_boundedness(&tiny());
+        for (workload, values) in &t.rows {
+            assert!(
+                values[1] >= values[0] - 0.05,
+                "{workload}: CXL-SSD should not be less memory bound ({} vs {})",
+                values[1],
+                values[0]
+            );
+            assert!(values[1] > 0.5, "{workload}: expected memory-bound");
+        }
+    }
+
+    #[test]
+    fn fig05_reproduces_sparse_coverage() {
+        let t = fig05_06_locality_cdf(&tiny(), false);
+        // bc/dlrm/ycsb: most pages below 40% coverage.
+        for row in ["bc", "dlrm", "ycsb"] {
+            let v = t.value(row, "pages_le_40pct").unwrap();
+            assert!(v > 0.6, "{row}: expected sparse coverage, got {v}");
+        }
+        let t6 = fig05_06_locality_cdf(&tiny(), true);
+        assert_eq!(t6.id, "figure-06");
+        assert_eq!(t6.rows.len(), 4);
+    }
+
+    #[test]
+    fn fig14_full_beats_base_on_geo_mean() {
+        let t = fig14_main_ablation(&tiny());
+        assert_eq!(t.rows.len(), 8); // 7 workloads + geo.mean
+        let full = t.value("geo.mean", "SkyByte-Full").unwrap();
+        let base = t.value("geo.mean", "Base-CSSD").unwrap();
+        let dram = t.value("geo.mean", "DRAM-Only").unwrap();
+        assert!((base - 1.0).abs() < 1e-9);
+        assert!(full < base, "SkyByte-Full ({full}) must beat Base-CSSD");
+        assert!(dram <= full, "DRAM-Only must be the best");
+    }
+
+    #[test]
+    fn fig18_write_log_variants_reduce_traffic() {
+        let t = fig18_write_traffic(&tiny());
+        for (workload, _) in &t.rows {
+            let base = t.value(workload, "Base-CSSD").unwrap();
+            let w = t.value(workload, "SkyByte-W").unwrap();
+            assert!((base - 1.0).abs() < 1e-9);
+            assert!(
+                w <= 1.02,
+                "{workload}: SkyByte-W must not increase write traffic ({w})"
+            );
+        }
+    }
+
+    #[test]
+    fn fig16_fractions_sum_to_one() {
+        let t = fig16_request_breakdown(&tiny());
+        for (workload, values) in &t.rows {
+            let sum: f64 = values.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "{workload}: request fractions sum to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn tables_have_expected_shapes() {
+        let t1 = table1_workloads();
+        assert_eq!(t1.rows.len(), 7);
+        assert!((t1.value("tpcc", "footprint_gib").unwrap() - 15.77).abs() < 0.01);
+
+        let t2 = table2_parameters();
+        assert!((t2.value("flash.read_us", "value").unwrap() - 3.0).abs() < 1e-9);
+        assert!((t2.value("ssd.capacity_gib", "value").unwrap() - 128.0).abs() < 1e-9);
+
+        let t4 = table4_nand_parameters();
+        assert_eq!(t4.rows.len(), 4);
+        assert!((t4.value("MLC", "read_us").unwrap() - 50.0).abs() < 1e-9);
+        assert!((t4.value("ULL2", "program_us").unwrap() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn experiment_table_lookup_helpers() {
+        let mut t = ExperimentTable::new("x", "y", &["a", "b"]);
+        t.push("row", vec![1.0, 2.0]);
+        assert_eq!(t.value("row", "b"), Some(2.0));
+        assert_eq!(t.value("row", "c"), None);
+        assert_eq!(t.value("other", "a"), None);
+        assert_eq!(t.row_labels(), vec!["row"]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ExperimentTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

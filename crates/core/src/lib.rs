@@ -1,0 +1,52 @@
+//! SkyByte full-system simulator.
+//!
+//! This crate is the top of the stack: it wires the host-side models
+//! ([`skybyte_cpu`], [`skybyte_os`], [`skybyte_cxl`]) to the device-side
+//! [`skybyte_ssd::SsdController`], drives them with the synthetic workloads
+//! of [`skybyte_workloads`], and implements every design point compared in
+//! the paper's evaluation:
+//!
+//! * `Base-CSSD` — the state-of-the-art baseline CXL-SSD,
+//! * `SkyByte-C` / `-P` / `-W` / `-CP` / `-WP` / `-Full` — the ablation of
+//!   coordinated context switches (C), adaptive page promotion (P) and the
+//!   CXL-aware write log (W),
+//! * `DRAM-Only` — the infinite-host-DRAM ideal,
+//! * `SkyByte-CT` / `-WCT` — TPP-style software migration (§VI-H),
+//! * `AstriFlash-CXL` — the AstriFlash comparison point (§VI-H).
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! evaluation section; see `EXPERIMENTS.md` at the repository root for the
+//! mapping.
+//!
+//! # Quick start
+//!
+//! ```
+//! use skybyte_sim::{ExperimentScale, Simulation};
+//! use skybyte_types::prelude::*;
+//! use skybyte_workloads::WorkloadKind;
+//!
+//! // A deliberately tiny run so the doctest finishes quickly.
+//! let scale = ExperimentScale::tiny();
+//! let result = Simulation::build(VariantKind::SkyByteFull, WorkloadKind::Ycsb, &scale)
+//!     .run();
+//! assert!(result.exec_time > Nanos::ZERO);
+//! assert!(result.total_accesses() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod migration;
+pub mod report;
+pub mod scale;
+pub mod thread_exec;
+
+pub use engine::Simulation;
+pub use metrics::{AmatBreakdown, RequestBreakdown, SimResult};
+pub use migration::MigrationEngine;
+pub use report::{render_figure, render_table};
+pub use scale::ExperimentScale;
+pub use thread_exec::ThreadExecutor;

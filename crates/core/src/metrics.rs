@@ -1,0 +1,323 @@
+//! End-to-end metrics produced by a simulation run.
+
+use serde::{Deserialize, Serialize};
+use skybyte_cpu::Boundedness;
+use skybyte_types::{LatencyHistogram, Nanos, RatioBreakdown, VariantKind};
+
+/// Average-memory-access-time accounting in the five components of
+/// Figure 17: host DRAM, CXL protocol, SSD index lookup, SSD DRAM and flash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmatBreakdown {
+    /// Total latency spent in host DRAM accesses.
+    pub host_dram: Nanos,
+    /// Total CXL protocol latency (both directions).
+    pub cxl_protocol: Nanos,
+    /// Total SSD index-lookup latency.
+    pub indexing: Nanos,
+    /// Total SSD DRAM access latency.
+    pub ssd_dram: Nanos,
+    /// Total flash access latency (queueing + tR/tProg).
+    pub flash: Nanos,
+    /// Number of memory accesses included (context-switched accesses are
+    /// excluded, their replays are included, following §VI-D).
+    pub accesses: u64,
+}
+
+impl AmatBreakdown {
+    /// Total latency across all components.
+    pub fn total(&self) -> Nanos {
+        self.host_dram + self.cxl_protocol + self.indexing + self.ssd_dram + self.flash
+    }
+
+    /// The average memory access time.
+    pub fn amat(&self) -> Nanos {
+        if self.accesses == 0 {
+            Nanos::ZERO
+        } else {
+            self.total() / self.accesses
+        }
+    }
+
+    /// The component fractions as a named breakdown (Figure 17b).
+    pub fn fractions(&self) -> RatioBreakdown {
+        let mut b = RatioBreakdown::new();
+        b.add("host_dram", self.host_dram.as_nanos() as f64);
+        b.add("cxl_protocol", self.cxl_protocol.as_nanos() as f64);
+        b.add("indexing", self.indexing.as_nanos() as f64);
+        b.add("ssd_dram", self.ssd_dram.as_nanos() as f64);
+        b.add("flash", self.flash.as_nanos() as f64);
+        b
+    }
+}
+
+/// The Figure 16 request classification: host DRAM read/write (H-R/W),
+/// CXL-SSD DRAM read hit (S-R-H), CXL-SSD DRAM read miss (S-R-M) and
+/// CXL-SSD write (S-W).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestBreakdown {
+    /// Accesses served by host DRAM (including promoted pages).
+    pub host: u64,
+    /// CXL-SSD reads that hit in SSD DRAM (write log, data cache or
+    /// zero-fill).
+    pub ssd_read_hit: u64,
+    /// CXL-SSD reads that required a flash access.
+    pub ssd_read_miss: u64,
+    /// CXL-SSD writes (all absorbed by the write log in SkyByte).
+    pub ssd_write: u64,
+}
+
+impl RequestBreakdown {
+    /// Total classified accesses.
+    pub fn total(&self) -> u64 {
+        self.host + self.ssd_read_hit + self.ssd_read_miss + self.ssd_write
+    }
+
+    /// Fraction helper.
+    fn frac(&self, x: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            x as f64 / t as f64
+        }
+    }
+
+    /// Fraction of accesses served by host DRAM.
+    pub fn host_fraction(&self) -> f64 {
+        self.frac(self.host)
+    }
+
+    /// Fraction of accesses that are SSD reads missing in SSD DRAM.
+    pub fn ssd_read_miss_fraction(&self) -> f64 {
+        self.frac(self.ssd_read_miss)
+    }
+
+    /// Fraction of accesses that are SSD writes.
+    pub fn ssd_write_fraction(&self) -> f64 {
+        self.frac(self.ssd_write)
+    }
+
+    /// Fraction of accesses that are SSD reads hitting in SSD DRAM.
+    pub fn ssd_read_hit_fraction(&self) -> f64 {
+        self.frac(self.ssd_read_hit)
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// The design variant simulated.
+    pub variant: VariantKind,
+    /// Workload name (Table I).
+    pub workload: String,
+    /// Number of application threads.
+    pub threads: u32,
+    /// Number of cores.
+    pub cores: u32,
+    /// End-to-end execution time (max over cores).
+    pub exec_time: Nanos,
+    /// Total instructions executed (compute bursts).
+    pub instructions: u64,
+    /// Memory/compute/context-switch boundedness (Figures 4 and 10).
+    pub boundedness: Boundedness,
+    /// AMAT component accounting (Figure 17).
+    pub amat: AmatBreakdown,
+    /// Request classification (Figure 16).
+    pub requests: RequestBreakdown,
+    /// Distribution of end-to-end memory latencies (Figure 3).
+    pub latency_hist: LatencyHistogram,
+    /// Pages programmed to flash (Figure 18 / 20).
+    pub flash_pages_programmed: u64,
+    /// Pages read from flash.
+    pub flash_pages_read: u64,
+    /// Average flash read latency including queueing (Table III).
+    pub avg_flash_read_latency: Nanos,
+    /// Write amplification factor reported by the FTL.
+    pub write_amplification: f64,
+    /// Context switches performed by the CXL-aware scheduler.
+    pub context_switches: u64,
+    /// Pages promoted to host DRAM.
+    pub pages_promoted: u64,
+    /// Pages evicted from host DRAM back to the SSD.
+    pub pages_demoted: u64,
+    /// Log compactions executed.
+    pub compactions: u64,
+    /// Peak memory footprint of the write-log index (0 when disabled).
+    pub log_index_bytes: u64,
+    /// Aggregate busy time of all flash channels.
+    pub flash_busy_time: Nanos,
+    /// Number of flash channels (for bandwidth-utilisation normalisation).
+    pub flash_channels: u32,
+    /// GC campaigns run by the FTL.
+    pub gc_campaigns: u64,
+}
+
+impl SimResult {
+    /// Total memory accesses classified.
+    pub fn total_accesses(&self) -> u64 {
+        self.requests.total()
+    }
+
+    /// Work throughput in accesses per second (the Figure 15 bar metric).
+    pub fn throughput_accesses_per_sec(&self) -> f64 {
+        if self.exec_time == Nanos::ZERO {
+            return 0.0;
+        }
+        self.total_accesses() as f64 * 1e9 / self.exec_time.as_nanos() as f64
+    }
+
+    /// Instructions per second.
+    pub fn throughput_instructions_per_sec(&self) -> f64 {
+        if self.exec_time == Nanos::ZERO {
+            return 0.0;
+        }
+        self.instructions as f64 * 1e9 / self.exec_time.as_nanos() as f64
+    }
+
+    /// Average flash-channel utilisation over the run (the Figure 15 line
+    /// metric, "SSD bandwidth utilisation").
+    pub fn ssd_bandwidth_utilisation(&self) -> f64 {
+        if self.exec_time == Nanos::ZERO || self.flash_channels == 0 {
+            return 0.0;
+        }
+        (self.flash_busy_time.as_nanos() as f64
+            / (self.exec_time.as_nanos() as f64 * self.flash_channels as f64))
+            .min(1.0)
+    }
+
+    /// Speed-up of this run over a baseline run of the same workload
+    /// (baseline execution time divided by this execution time).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        if self.exec_time == Nanos::ZERO {
+            return 0.0;
+        }
+        baseline.exec_time.as_nanos() as f64 / self.exec_time.as_nanos() as f64
+    }
+
+    /// Execution time normalised to a baseline (lower is better, as plotted
+    /// in Figures 14, 21, 22 and 23).
+    pub fn normalized_exec_time(&self, baseline: &SimResult) -> f64 {
+        if baseline.exec_time == Nanos::ZERO {
+            return 0.0;
+        }
+        self.exec_time.as_nanos() as f64 / baseline.exec_time.as_nanos() as f64
+    }
+}
+
+/// Geometric mean of a sequence of positive ratios (used for "geo. mean"
+/// columns of Figures 14 and 23).
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(exec_ns: u64) -> SimResult {
+        SimResult {
+            variant: VariantKind::BaseCssd,
+            workload: "bc".to_string(),
+            threads: 8,
+            cores: 8,
+            exec_time: Nanos::new(exec_ns),
+            instructions: 1_000_000,
+            boundedness: Boundedness::default(),
+            amat: AmatBreakdown::default(),
+            requests: RequestBreakdown {
+                host: 10,
+                ssd_read_hit: 60,
+                ssd_read_miss: 10,
+                ssd_write: 20,
+            },
+            latency_hist: LatencyHistogram::new(),
+            flash_pages_programmed: 5,
+            flash_pages_read: 9,
+            avg_flash_read_latency: Nanos::from_micros(3),
+            write_amplification: 1.2,
+            context_switches: 0,
+            pages_promoted: 0,
+            pages_demoted: 0,
+            compactions: 0,
+            log_index_bytes: 0,
+            flash_busy_time: Nanos::new(exec_ns / 2),
+            flash_channels: 4,
+            gc_campaigns: 0,
+        }
+    }
+
+    #[test]
+    fn amat_breakdown_math() {
+        let a = AmatBreakdown {
+            host_dram: Nanos::new(100),
+            cxl_protocol: Nanos::new(80),
+            indexing: Nanos::new(20),
+            ssd_dram: Nanos::new(200),
+            flash: Nanos::new(600),
+            accesses: 10,
+        };
+        assert_eq!(a.total(), Nanos::new(1000));
+        assert_eq!(a.amat(), Nanos::new(100));
+        assert!((a.fractions().fraction("flash") - 0.6).abs() < 1e-9);
+        assert_eq!(AmatBreakdown::default().amat(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn request_breakdown_fractions() {
+        let r = RequestBreakdown {
+            host: 25,
+            ssd_read_hit: 50,
+            ssd_read_miss: 5,
+            ssd_write: 20,
+        };
+        assert_eq!(r.total(), 100);
+        assert!((r.host_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.ssd_read_hit_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.ssd_read_miss_fraction() - 0.05).abs() < 1e-12);
+        assert!((r.ssd_write_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(RequestBreakdown::default().host_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sim_result_derived_metrics() {
+        let fast = dummy(1_000_000);
+        let slow = dummy(4_000_000);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.normalized_exec_time(&fast) - 4.0).abs() < 1e-9);
+        assert!(fast.throughput_accesses_per_sec() > slow.throughput_accesses_per_sec());
+        assert!(fast.throughput_instructions_per_sec() > 0.0);
+        let util = fast.ssd_bandwidth_utilisation();
+        assert!(util > 0.1 && util <= 0.2, "util {util}");
+        assert_eq!(fast.total_accesses(), 100);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geometric_mean([5.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+        // Non-positive values are ignored rather than poisoning the mean.
+        assert!((geometric_mean([2.0, 0.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_result_serialises() {
+        let r = dummy(1000);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.exec_time, r.exec_time);
+        assert_eq!(back.workload, "bc");
+    }
+}

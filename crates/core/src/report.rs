@@ -1,0 +1,146 @@
+//! Plain-text rendering of the regenerated figures and tables.
+
+use crate::experiments::{self, ExperimentTable};
+use crate::scale::ExperimentScale;
+use std::fmt::Write as _;
+
+/// Renders an [`ExperimentTable`] as an aligned plain-text table.
+pub fn render(table: &ExperimentTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {} ==", table.id, table.title);
+    // Column widths.
+    let label_width = table
+        .rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once("workload".len()))
+        .max()
+        .unwrap_or(8);
+    let col_width = table
+        .columns
+        .iter()
+        .map(|c| c.len().max(10))
+        .collect::<Vec<_>>();
+    let _ = write!(out, "{:label_width$}", "");
+    for (c, w) in table.columns.iter().zip(&col_width) {
+        let _ = write!(out, "  {c:>w$}");
+    }
+    let _ = writeln!(out);
+    for (label, values) in &table.rows {
+        let _ = write!(out, "{label:label_width$}");
+        for (v, w) in values.iter().zip(&col_width) {
+            if v.abs() >= 1000.0 {
+                let _ = write!(out, "  {v:>w$.0}");
+            } else {
+                let _ = write!(out, "  {v:>w$.3}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Regenerates and renders one figure of the paper by number.
+///
+/// Supported figures: 2, 3, 4, 5, 6, 9, 10, 14, 15, 16, 17, 18, 19, 20, 21,
+/// 22 and 23 (the remaining figures are architecture diagrams with no data).
+///
+/// # Panics
+///
+/// Panics if the figure number has no data series in the paper.
+pub fn render_figure(figure: u32, scale: &ExperimentScale) -> String {
+    let table = match figure {
+        2 => experiments::fig02_dram_vs_cssd(scale),
+        3 => experiments::fig03_latency_distribution(scale),
+        4 => experiments::fig04_boundedness(scale),
+        5 => experiments::fig05_06_locality_cdf(scale, false),
+        6 => experiments::fig05_06_locality_cdf(scale, true),
+        9 => experiments::fig09_threshold_sweep(scale),
+        10 => experiments::fig10_sched_policies(scale),
+        14 => experiments::fig14_main_ablation(scale),
+        15 => experiments::fig15_thread_scaling(scale),
+        16 => experiments::fig16_request_breakdown(scale),
+        17 => experiments::fig17_amat(scale),
+        18 => experiments::fig18_write_traffic(scale),
+        19 | 20 => experiments::fig19_20_write_log_sweep(scale),
+        21 => experiments::fig21_dram_size_sweep(scale),
+        22 => experiments::fig22_flash_latency_sweep(scale),
+        23 => experiments::fig23_migration_mechanisms(scale),
+        other => panic!("figure {other} has no data series (architecture diagram)"),
+    };
+    render(&table)
+}
+
+/// Regenerates and renders one table of the paper by number (1–4).
+///
+/// # Panics
+///
+/// Panics if the table number is not 1, 2, 3 or 4.
+pub fn render_table(table: u32, scale: &ExperimentScale) -> String {
+    let t = match table {
+        1 => experiments::table1_workloads(),
+        2 => experiments::table2_parameters(),
+        3 => experiments::table3_flash_read_latency(scale),
+        4 => experiments::table4_nand_parameters(),
+        other => panic!("table {other} does not exist in the paper"),
+    };
+    render(&t)
+}
+
+/// The figures that carry data series (everything the harness can render).
+pub const DATA_FIGURES: [u32; 17] = [2, 3, 4, 5, 6, 9, 10, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentTable;
+
+    #[test]
+    fn render_formats_rows_and_columns() {
+        let mut t = ExperimentTable {
+            id: "figure-xx".into(),
+            title: "demo".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![],
+        };
+        t.rows.push(("bc".into(), vec![1.0, 12345.0]));
+        let s = render(&t);
+        assert!(s.contains("figure-xx"));
+        assert!(s.contains("bc"));
+        assert!(s.contains("12345"));
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn tables_1_and_4_render_without_simulation() {
+        let scale = crate::scale::ExperimentScale::tiny();
+        let t1 = render_table(1, &scale);
+        assert!(t1.contains("tpcc"));
+        let t4 = render_table(4, &scale);
+        assert!(t4.contains("MLC"));
+        let t2 = render_table(2, &scale);
+        assert!(t2.contains("cs.threshold_us"));
+    }
+
+    #[test]
+    fn figure_5_renders_quickly() {
+        let scale = crate::scale::ExperimentScale::tiny().with_accesses_per_thread(200);
+        let s = render_figure(5, &scale);
+        assert!(s.contains("figure-05"));
+        assert!(s.contains("dlrm"));
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture diagram")]
+    fn unknown_figures_panic() {
+        let scale = crate::scale::ExperimentScale::tiny();
+        let _ = render_figure(7, &scale);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn unknown_tables_panic() {
+        let scale = crate::scale::ExperimentScale::tiny();
+        let _ = render_table(9, &scale);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-thread trace execution state.
+//!
+//! Each application thread replays a bounded synthetic trace. When the
+//! coordinated context switch yields a thread in the middle of a memory
+//! access (the instruction is squashed, §III-A), the access is *pushed back*
+//! so that the thread re-issues it when it is scheduled again, exactly like
+//! the replayed instruction of step C4 in Figure 7.
+
+use skybyte_workloads::{TraceGenerator, WorkUnit, WorkloadSpec};
+
+/// The execution state of one thread: its trace generator, its remaining
+/// work budget, and an optional access pending re-issue.
+#[derive(Debug, Clone)]
+pub struct ThreadExecutor {
+    generator: TraceGenerator,
+    budget: u64,
+    issued: u64,
+    pending: Option<WorkUnit>,
+    reissues: u64,
+}
+
+impl ThreadExecutor {
+    /// Creates the executor for `thread` of `threads`, limited to `budget`
+    /// work units.
+    pub fn new(spec: &WorkloadSpec, thread: u32, threads: u32, seed: u64, budget: u64) -> Self {
+        ThreadExecutor {
+            generator: TraceGenerator::new(spec, thread, threads, seed),
+            budget,
+            issued: 0,
+            pending: None,
+            reissues: 0,
+        }
+    }
+
+    /// The next work unit to execute, or `None` when the trace is finished.
+    /// A pushed-back access is returned first (with zero compute, since the
+    /// compute burst before it already executed).
+    pub fn next_unit(&mut self) -> Option<WorkUnit> {
+        if let Some(p) = self.pending.take() {
+            return Some(p);
+        }
+        if self.issued >= self.budget {
+            return None;
+        }
+        self.issued += 1;
+        Some(self.generator.next_unit())
+    }
+
+    /// Pushes an access back for re-issue after a context switch. The compute
+    /// part is zeroed: it has already been accounted.
+    pub fn push_back(&mut self, unit: WorkUnit) {
+        debug_assert!(self.pending.is_none(), "only one access can be pending");
+        self.reissues += 1;
+        self.pending = Some(WorkUnit {
+            instructions: 0,
+            access: unit.access,
+        });
+    }
+
+    /// Whether the trace is exhausted and nothing is pending.
+    pub fn is_finished(&self) -> bool {
+        self.pending.is_none() && self.issued >= self.budget
+    }
+
+    /// Completed fraction of the work budget.
+    pub fn progress(&self) -> f64 {
+        if self.budget == 0 {
+            1.0
+        } else {
+            self.issued as f64 / self.budget as f64
+        }
+    }
+
+    /// Number of accesses re-issued after context switches.
+    pub fn reissues(&self) -> u64 {
+        self.reissues
+    }
+
+    /// Number of work units issued from the generator.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skybyte_workloads::WorkloadKind;
+
+    fn exec(budget: u64) -> ThreadExecutor {
+        let spec = WorkloadKind::Ycsb.spec().scaled_to(8 << 20);
+        ThreadExecutor::new(&spec, 0, 2, 1, budget)
+    }
+
+    #[test]
+    fn budget_bounds_the_trace() {
+        let mut e = exec(5);
+        let mut count = 0;
+        while e.next_unit().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+        assert!(e.is_finished());
+        assert_eq!(e.progress(), 1.0);
+        assert_eq!(e.issued(), 5);
+    }
+
+    #[test]
+    fn push_back_reissues_the_same_access_without_compute() {
+        let mut e = exec(3);
+        let first = e.next_unit().unwrap();
+        e.push_back(first);
+        let reissued = e.next_unit().unwrap();
+        assert_eq!(reissued.access, first.access);
+        assert_eq!(reissued.instructions, 0);
+        assert_eq!(e.reissues(), 1);
+        // The re-issue does not consume budget.
+        let mut remaining = 0;
+        while e.next_unit().is_some() {
+            remaining += 1;
+        }
+        assert_eq!(remaining, 2);
+    }
+
+    #[test]
+    fn pending_access_defers_finish() {
+        let mut e = exec(1);
+        let u = e.next_unit().unwrap();
+        assert!(!e.is_finished() || e.pending.is_none());
+        e.push_back(u);
+        assert!(!e.is_finished());
+        assert!(e.next_unit().is_some());
+        assert!(e.next_unit().is_none());
+        assert!(e.is_finished());
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_finished() {
+        let mut e = exec(0);
+        assert!(e.next_unit().is_none());
+        assert!(e.is_finished());
+        assert_eq!(e.progress(), 1.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The host cache hierarchy: per-core L1D and L2 plus a shared LLC.
+//!
+//! The hierarchy is modelled as inclusive, set-associative, LRU caches over
+//! cacheline addresses. It answers a single question for the simulator: at
+//! which level does an access hit, and therefore how much latency it pays
+//! before going off-chip. The shared LLC owns the MSHR file that SkyByte's
+//! coordinated context switch interrogates to find the instructions waiting
+//! on a CXL response (and frees eagerly when they are squashed, §III-A).
+
+use serde::{Deserialize, Serialize};
+use skybyte_cache::MshrFile;
+use skybyte_types::{CacheLevelConfig, CpuConfig, Nanos, VirtAddr, CACHELINE_SIZE};
+
+/// The level at which an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Hit in the core's L1 data cache.
+    L1,
+    /// Hit in the core's private L2.
+    L2,
+    /// Hit in the shared last-level cache.
+    Llc,
+    /// Missed the whole hierarchy: the access goes off-chip.
+    Miss,
+}
+
+impl HitLevel {
+    /// Whether the access left the chip.
+    pub fn is_off_chip(self) -> bool {
+        matches!(self, HitLevel::Miss)
+    }
+}
+
+/// One set-associative, LRU cache level over cacheline addresses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheLevel {
+    sets: Vec<Vec<(u64, u64)>>, // (line address, last-use tick)
+    ways: usize,
+    hit_latency: Nanos,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    /// Creates a level from its configuration.
+    pub fn new(cfg: &CacheLevelConfig) -> Self {
+        let sets = cfg.sets() as usize;
+        CacheLevel {
+            sets: vec![Vec::new(); sets.max(1)],
+            ways: cfg.ways as usize,
+            hit_latency: cfg.hit_latency,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Accesses a cacheline: returns `true` on hit. A miss inserts the line
+    /// (allocate-on-miss), evicting the set's LRU line if needed.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
+            entry.1 = tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if set.len() >= ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("set not empty");
+            set.swap_remove(lru);
+        }
+        set.push((line, tick));
+        false
+    }
+
+    /// Removes a cacheline (invalidation), returning whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|(l, _)| *l == line) {
+            set.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hit latency of this level.
+    pub fn hit_latency(&self) -> Nanos {
+        self.hit_latency
+    }
+
+    /// (hits, misses) counters.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The full host hierarchy: per-core L1/L2, shared LLC, shared LLC MSHRs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheHierarchy {
+    l1: Vec<CacheLevel>,
+    l2: Vec<CacheLevel>,
+    llc: CacheLevel,
+    llc_mshrs: MshrFile<u64, u32>,
+    accesses: u64,
+    off_chip: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for `cfg.cores` cores using the Table II sizes.
+    pub fn new(cfg: &CpuConfig) -> Self {
+        CacheHierarchy {
+            l1: (0..cfg.cores).map(|_| CacheLevel::new(&cfg.l1d)).collect(),
+            l2: (0..cfg.cores).map(|_| CacheLevel::new(&cfg.l2)).collect(),
+            llc: CacheLevel::new(&cfg.llc),
+            llc_mshrs: MshrFile::new(cfg.llc.mshrs as usize),
+            accesses: 0,
+            off_chip: 0,
+        }
+    }
+
+    fn line_of(addr: VirtAddr) -> u64 {
+        addr.as_u64() / CACHELINE_SIZE as u64
+    }
+
+    /// Performs an access from `core` and returns where it hit together with
+    /// the on-chip latency paid up to (and including) that level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: VirtAddr) -> (HitLevel, Nanos) {
+        assert!(core < self.l1.len(), "core {core} out of range");
+        self.accesses += 1;
+        let line = Self::line_of(addr);
+        let l1_lat = self.l1[core].hit_latency();
+        if self.l1[core].access(line) {
+            return (HitLevel::L1, l1_lat);
+        }
+        let l2_lat = self.l2[core].hit_latency();
+        if self.l2[core].access(line) {
+            return (HitLevel::L2, l1_lat + l2_lat);
+        }
+        let llc_lat = self.llc.hit_latency();
+        if self.llc.access(line) {
+            return (HitLevel::Llc, l1_lat + l2_lat + llc_lat);
+        }
+        self.off_chip += 1;
+        (HitLevel::Miss, l1_lat + l2_lat + llc_lat)
+    }
+
+    /// Invalidates a cacheline everywhere (used for TLB-shootdown-style
+    /// invalidations after page migration).
+    pub fn invalidate_line(&mut self, addr: VirtAddr) {
+        let line = Self::line_of(addr);
+        for l1 in &mut self.l1 {
+            l1.invalidate(line);
+        }
+        for l2 in &mut self.l2 {
+            l2.invalidate(line);
+        }
+        self.llc.invalidate(line);
+    }
+
+    /// Allocates (or merges into) an LLC MSHR for an off-chip access; the
+    /// waiter is an opaque identifier chosen by the caller (core id, thread
+    /// id, …).
+    pub fn allocate_mshr(&mut self, addr: VirtAddr, waiter: u32) -> skybyte_cache::MshrOutcome {
+        self.llc_mshrs.allocate(Self::line_of(addr), waiter)
+    }
+
+    /// Completes an off-chip fill, returning the waiters to wake.
+    pub fn complete_mshr(&mut self, addr: VirtAddr) -> Vec<u32> {
+        self.llc_mshrs.complete(&Self::line_of(addr))
+    }
+
+    /// Eagerly frees the MSHR waiter of a squashed instruction (§III-A).
+    pub fn release_mshr_waiter(&mut self, addr: VirtAddr, waiter: u32) -> bool {
+        self.llc_mshrs
+            .remove_waiter(&Self::line_of(addr), |w| *w == waiter)
+    }
+
+    /// Current LLC MSHR occupancy.
+    pub fn mshr_occupancy(&self) -> usize {
+        self.llc_mshrs.occupancy()
+    }
+
+    /// Fraction of accesses that went off-chip (the modelled LLC miss ratio).
+    pub fn off_chip_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.off_chip as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skybyte_cache::MshrOutcome;
+
+    fn small_cpu() -> CpuConfig {
+        let mut cfg = CpuConfig::default();
+        cfg.cores = 2;
+        cfg.l1d.size_bytes = 4 * 64; // 4 lines
+        cfg.l1d.ways = 2;
+        cfg.l2.size_bytes = 8 * 64;
+        cfg.l2.ways = 2;
+        cfg.llc.size_bytes = 16 * 64;
+        cfg.llc.ways = 4;
+        cfg.llc.mshrs = 4;
+        cfg
+    }
+
+    #[test]
+    fn first_access_misses_then_hits_l1() {
+        let mut h = CacheHierarchy::new(&small_cpu());
+        let a = VirtAddr::new(0x1000);
+        let (lvl, _) = h.access(0, a);
+        assert_eq!(lvl, HitLevel::Miss);
+        assert!(lvl.is_off_chip());
+        let (lvl, lat) = h.access(0, a);
+        assert_eq!(lvl, HitLevel::L1);
+        assert_eq!(lat, Nanos::new(1));
+    }
+
+    #[test]
+    fn private_caches_are_per_core() {
+        let mut h = CacheHierarchy::new(&small_cpu());
+        let a = VirtAddr::new(0x2000);
+        h.access(0, a);
+        // Core 1 misses its private levels but hits the shared LLC.
+        let (lvl, _) = h.access(1, a);
+        assert_eq!(lvl, HitLevel::Llc);
+    }
+
+    #[test]
+    fn capacity_evictions_fall_through_levels() {
+        let cfg = small_cpu();
+        let mut h = CacheHierarchy::new(&cfg);
+        // Touch far more lines than the LLC holds; later re-touch the first
+        // line: it should have been evicted from everything.
+        for i in 0..200u64 {
+            h.access(0, VirtAddr::new(i * 64));
+        }
+        let (lvl, _) = h.access(0, VirtAddr::new(0));
+        assert_eq!(lvl, HitLevel::Miss);
+        assert!(h.off_chip_ratio() > 0.5);
+        assert_eq!(h.accesses(), 201);
+    }
+
+    #[test]
+    fn invalidate_line_removes_from_all_levels() {
+        let mut h = CacheHierarchy::new(&small_cpu());
+        let a = VirtAddr::new(0x3000);
+        h.access(0, a);
+        h.access(0, a);
+        h.invalidate_line(a);
+        let (lvl, _) = h.access(0, a);
+        assert_eq!(lvl, HitLevel::Miss);
+    }
+
+    #[test]
+    fn mshr_allocation_and_eager_release() {
+        let mut h = CacheHierarchy::new(&small_cpu());
+        let a = VirtAddr::new(0x4000);
+        assert_eq!(h.allocate_mshr(a, 1), MshrOutcome::NewMiss);
+        assert_eq!(h.allocate_mshr(a, 2), MshrOutcome::Merged);
+        assert_eq!(h.mshr_occupancy(), 1);
+        // Squash waiter 1: MSHR stays for waiter 2.
+        assert!(!h.release_mshr_waiter(a, 1));
+        assert_eq!(h.complete_mshr(a), vec![2]);
+        assert_eq!(h.mshr_occupancy(), 0);
+    }
+
+    #[test]
+    fn mshr_capacity_enforced() {
+        let mut h = CacheHierarchy::new(&small_cpu());
+        for i in 0..4u64 {
+            assert_eq!(
+                h.allocate_mshr(VirtAddr::new(i * 64), i as u32),
+                MshrOutcome::NewMiss
+            );
+        }
+        assert_eq!(
+            h.allocate_mshr(VirtAddr::new(99 * 64), 99),
+            MshrOutcome::Full
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_core_index() {
+        let mut h = CacheHierarchy::new(&small_cpu());
+        h.access(5, VirtAddr::new(0));
+    }
+}

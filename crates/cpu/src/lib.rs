@@ -1,0 +1,46 @@
+//! Host CPU substrate: cache hierarchy, host DRAM and core timing model.
+//!
+//! The SkyByte paper evaluates with MacSim, a cycle-accurate multi-core
+//! simulator. Its conclusions, however, are driven by off-chip memory
+//! behaviour: Figure 4 shows that the studied workloads spend 62.9–99.8 % of
+//! their cycles bounded by memory even on host DRAM. This crate therefore
+//! provides a *memory-level-parallelism (MLP) limited* core model instead of
+//! a full pipeline model:
+//!
+//! * [`CacheHierarchy`] — per-core L1/L2 and a shared LLC with MSHRs
+//!   (Table II sizes), filtering which accesses go off-chip;
+//! * [`HostDram`] — DDR5 latency/bandwidth model for accesses that stay in
+//!   host memory (and for promoted pages);
+//! * [`CoreTimingModel`] — converts instruction counts to time and bounds how
+//!   much off-chip latency the out-of-order window can hide;
+//! * [`Boundedness`] — the memory- vs compute-bounded cycle accounting used
+//!   by Figures 4 and 10.
+//!
+//! # Example
+//!
+//! ```
+//! use skybyte_cpu::{CoreTimingModel, HostDram};
+//! use skybyte_types::prelude::*;
+//!
+//! let cfg = CpuConfig::default();
+//! let core = CoreTimingModel::new(&cfg);
+//! // 1000 instructions at IPC 2 and 4 GHz = 125 ns.
+//! assert_eq!(core.compute_time(1000), Nanos::new(125));
+//! // The 256-entry ROB hides only ~32 ns of a 3 µs flash access.
+//! assert!(core.effective_stall(Nanos::from_micros(3)) > Nanos::from_micros(2));
+//!
+//! let mut dram = HostDram::new(&HostDramConfig::default());
+//! let done = dram.access(Nanos::ZERO);
+//! assert_eq!(done, Nanos::new(70));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_model;
+mod dram;
+mod hierarchy;
+
+pub use core_model::{Boundedness, CoreTimingModel};
+pub use dram::{HostDram, HostDramStats};
+pub use hierarchy::{CacheHierarchy, CacheLevel, HitLevel};

@@ -1,0 +1,266 @@
+//! CXL.mem messages and opcodes.
+//!
+//! Only the fields relevant to SkyByte are modelled: the master-to-slave
+//! request opcode, the 16-bit transaction tag, and the slave-to-master
+//! response, where the NDR opcode field carries the `SkyByte-Delay` hint
+//! (Figure 8 of the paper). The NDR encoding follows the figure exactly:
+//! a valid bit, a 3-bit opcode and a 16-bit tag.
+
+use serde::{Deserialize, Serialize};
+use skybyte_types::{AccessKind, Nanos, PhysAddr};
+use std::fmt;
+
+/// A 16-bit CXL.mem transaction tag.
+pub type Tag = u16;
+
+/// Master-to-slave (host → SSD) request opcodes used by SkyByte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOpcode {
+    /// `MemRd`: read one cacheline.
+    MemRd,
+    /// `MemWr`: write one cacheline.
+    MemWr,
+}
+
+impl MemOpcode {
+    /// The opcode corresponding to a host access kind.
+    pub fn from_kind(kind: AccessKind) -> Self {
+        match kind {
+            AccessKind::Read => MemOpcode::MemRd,
+            AccessKind::Write => MemOpcode::MemWr,
+        }
+    }
+}
+
+impl fmt::Display for MemOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOpcode::MemRd => write!(f, "MemRd"),
+            MemOpcode::MemWr => write!(f, "MemWr"),
+        }
+    }
+}
+
+/// No-Data-Response opcodes (Figure 8). `SkyByte-Delay` occupies one of the
+/// reserved encodings (0b111).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NdrOpcode {
+    /// Completion for writebacks, reads and invalidates (0b000).
+    Cmp,
+    /// Cache-coherence completion, shared state (0b001).
+    CmpS,
+    /// Cache-coherence completion, exclusive state (0b010).
+    CmpE,
+    /// Back-invalidate conflict acknowledgement (0b100).
+    BiConflictAck,
+    /// SkyByte extension: the request will suffer a long access delay; the
+    /// host should raise a Long Delay Exception (0b111).
+    SkyByteDelay,
+}
+
+impl NdrOpcode {
+    /// The 3-bit wire encoding of this opcode.
+    pub const fn encoding(self) -> u8 {
+        match self {
+            NdrOpcode::Cmp => 0b000,
+            NdrOpcode::CmpS => 0b001,
+            NdrOpcode::CmpE => 0b010,
+            NdrOpcode::BiConflictAck => 0b100,
+            NdrOpcode::SkyByteDelay => 0b111,
+        }
+    }
+
+    /// Decodes a 3-bit encoding; unknown/reserved encodings return `None`.
+    pub const fn from_encoding(bits: u8) -> Option<Self> {
+        match bits {
+            0b000 => Some(NdrOpcode::Cmp),
+            0b001 => Some(NdrOpcode::CmpS),
+            0b010 => Some(NdrOpcode::CmpE),
+            0b100 => Some(NdrOpcode::BiConflictAck),
+            0b111 => Some(NdrOpcode::SkyByteDelay),
+            _ => None,
+        }
+    }
+
+    /// Packs a `(valid, opcode, tag)` NDR flit header into the low 20 bits of
+    /// a `u32`, following the field layout of Figure 8
+    /// (bit 0 = valid, bits 1..=3 = opcode, bits 4..=19 = tag).
+    pub fn encode_flit(self, tag: Tag) -> u32 {
+        1 | ((self.encoding() as u32) << 1) | ((tag as u32) << 4)
+    }
+
+    /// Unpacks an NDR flit header produced by [`NdrOpcode::encode_flit`].
+    /// Returns `None` if the valid bit is clear or the opcode is reserved.
+    pub fn decode_flit(flit: u32) -> Option<(Self, Tag)> {
+        if flit & 1 == 0 {
+            return None;
+        }
+        let opcode = Self::from_encoding(((flit >> 1) & 0b111) as u8)?;
+        let tag = ((flit >> 4) & 0xFFFF) as Tag;
+        Some((opcode, tag))
+    }
+}
+
+impl fmt::Display for NdrOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NdrOpcode::Cmp => "Cmp",
+            NdrOpcode::CmpS => "Cmp-S",
+            NdrOpcode::CmpE => "Cmp-E",
+            NdrOpcode::BiConflictAck => "BI-ConflictAck",
+            NdrOpcode::SkyByteDelay => "SkyByte-Delay",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A CXL.mem request from the host to the SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CxlRequest {
+    /// Transaction tag assigned by the host CXL controller.
+    pub tag: Tag,
+    /// Request opcode.
+    pub opcode: MemOpcode,
+    /// Host physical address of the cacheline (within the HDM window).
+    pub addr: PhysAddr,
+    /// Time the request leaves the host.
+    pub issued_at: Nanos,
+}
+
+/// A CXL.mem response from the SSD to the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CxlResponse {
+    /// `MemData`: the read data is returned; the transaction completes at the
+    /// given time.
+    MemData {
+        /// Transaction tag being answered.
+        tag: Tag,
+        /// Completion time at the host.
+        completes_at: Nanos,
+    },
+    /// A No-Data Response with the given opcode (for writes: `Cmp`; for long
+    /// delays: `SkyByteDelay`).
+    NoData {
+        /// Transaction tag being answered.
+        tag: Tag,
+        /// NDR opcode.
+        opcode: NdrOpcode,
+        /// Arrival time of the response at the host.
+        completes_at: Nanos,
+        /// For `SkyByteDelay`: the SSD's estimate of when the data will be
+        /// ready in its DRAM, so the OS can decide when to reschedule.
+        estimated_ready_at: Nanos,
+    },
+}
+
+impl CxlResponse {
+    /// The transaction tag this response answers.
+    pub fn tag(&self) -> Tag {
+        match self {
+            CxlResponse::MemData { tag, .. } | CxlResponse::NoData { tag, .. } => *tag,
+        }
+    }
+
+    /// Whether this response is a `SkyByte-Delay` hint.
+    pub fn is_delay_hint(&self) -> bool {
+        matches!(
+            self,
+            CxlResponse::NoData {
+                opcode: NdrOpcode::SkyByteDelay,
+                ..
+            }
+        )
+    }
+
+    /// Arrival time of the response at the host.
+    pub fn completes_at(&self) -> Nanos {
+        match self {
+            CxlResponse::MemData { completes_at, .. }
+            | CxlResponse::NoData { completes_at, .. } => *completes_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn opcode_encodings_match_figure8() {
+        assert_eq!(NdrOpcode::Cmp.encoding(), 0b000);
+        assert_eq!(NdrOpcode::CmpS.encoding(), 0b001);
+        assert_eq!(NdrOpcode::CmpE.encoding(), 0b010);
+        assert_eq!(NdrOpcode::BiConflictAck.encoding(), 0b100);
+        assert_eq!(NdrOpcode::SkyByteDelay.encoding(), 0b111);
+        assert_eq!(NdrOpcode::from_encoding(0b011), None);
+        assert_eq!(NdrOpcode::from_encoding(0b101), None);
+        assert_eq!(
+            NdrOpcode::from_encoding(0b111),
+            Some(NdrOpcode::SkyByteDelay)
+        );
+    }
+
+    #[test]
+    fn flit_round_trip() {
+        let flit = NdrOpcode::SkyByteDelay.encode_flit(0xBEEF);
+        assert_eq!(flit & 1, 1);
+        let (op, tag) = NdrOpcode::decode_flit(flit).unwrap();
+        assert_eq!(op, NdrOpcode::SkyByteDelay);
+        assert_eq!(tag, 0xBEEF);
+        // Invalid flit (valid bit clear).
+        assert_eq!(NdrOpcode::decode_flit(flit & !1), None);
+    }
+
+    #[test]
+    fn mem_opcode_from_kind() {
+        assert_eq!(MemOpcode::from_kind(AccessKind::Read), MemOpcode::MemRd);
+        assert_eq!(MemOpcode::from_kind(AccessKind::Write), MemOpcode::MemWr);
+        assert_eq!(MemOpcode::MemRd.to_string(), "MemRd");
+    }
+
+    #[test]
+    fn response_helpers() {
+        let data = CxlResponse::MemData {
+            tag: 7,
+            completes_at: Nanos::new(100),
+        };
+        assert_eq!(data.tag(), 7);
+        assert!(!data.is_delay_hint());
+        assert_eq!(data.completes_at(), Nanos::new(100));
+
+        let delay = CxlResponse::NoData {
+            tag: 9,
+            opcode: NdrOpcode::SkyByteDelay,
+            completes_at: Nanos::new(80),
+            estimated_ready_at: Nanos::from_micros(5),
+        };
+        assert!(delay.is_delay_hint());
+        assert_eq!(delay.tag(), 9);
+
+        let cmp = CxlResponse::NoData {
+            tag: 9,
+            opcode: NdrOpcode::Cmp,
+            completes_at: Nanos::new(80),
+            estimated_ready_at: Nanos::ZERO,
+        };
+        assert!(!cmp.is_delay_hint());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NdrOpcode::SkyByteDelay.to_string(), "SkyByte-Delay");
+        assert_eq!(NdrOpcode::BiConflictAck.to_string(), "BI-ConflictAck");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_flit_round_trips_for_all_tags(tag in any::<u16>()) {
+            for op in [NdrOpcode::Cmp, NdrOpcode::CmpS, NdrOpcode::CmpE,
+                       NdrOpcode::BiConflictAck, NdrOpcode::SkyByteDelay] {
+                let flit = op.encode_flit(tag);
+                prop_assert_eq!(NdrOpcode::decode_flit(flit), Some((op, tag)));
+            }
+        }
+    }
+}

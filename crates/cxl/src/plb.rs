@@ -1,0 +1,362 @@
+//! The Promotion Look-aside Buffer (PLB) in the host bridge (§III-C and §IV).
+//!
+//! While a page is being promoted from the SSD to host DRAM, accesses to it
+//! must stay consistent without stalling behind the copy. The PLB records
+//! every in-flight migration: the source (SSD) page, the destination (host)
+//! page, and a bitmap of cachelines already copied. Reads of a page under
+//! promotion are served from the SSD DRAM; writes go to the most recent copy
+//! — the host page if that cacheline has already migrated, the SSD otherwise.
+//!
+//! For 2 MiB huge pages a two-level variant ([`HugePagePlb`]) tracks 4 KiB
+//! chunks in the first level and the cachelines of the chunk currently under
+//! migration in the second level, so the per-entry bitmap stays 64 B + 8 B
+//! instead of 4 KiB (§IV).
+
+use serde::{Deserialize, Serialize};
+use skybyte_types::{CachelineIndex, PageNumber, CACHELINES_PER_PAGE};
+
+/// Where a write to a page under promotion must be routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteRoute {
+    /// The cacheline has already been copied: write the host DRAM copy.
+    HostDram,
+    /// The cacheline has not been copied yet: write the SSD copy.
+    CxlSsd,
+}
+
+/// One PLB entry: an in-flight 4 KiB page promotion.
+///
+/// The paper sizes each entry at 24 B: source and destination page addresses
+/// (8 B each), the migrated-cacheline bitmap (8 B) and a valid bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlbEntry {
+    /// Source page in the SSD (device page number).
+    pub source: PageNumber,
+    /// Destination page in host DRAM (host page number).
+    pub destination: PageNumber,
+    /// Bit *i* set ⇔ cacheline *i* has been copied to the destination.
+    pub migrated_bitmap: u64,
+}
+
+impl PlbEntry {
+    /// Whether every cacheline of the page has been copied.
+    pub fn is_complete(&self) -> bool {
+        self.migrated_bitmap == u64::MAX
+    }
+
+    /// Number of cachelines copied so far.
+    pub fn migrated_count(&self) -> u32 {
+        self.migrated_bitmap.count_ones()
+    }
+}
+
+/// The Promotion Look-aside Buffer: a small, fully-associative table of
+/// in-flight page promotions (64 entries in the paper).
+///
+/// # Example
+///
+/// ```
+/// use skybyte_cxl::{PromotionLookasideBuffer, WriteRoute};
+/// use skybyte_types::PageNumber;
+///
+/// let mut plb = PromotionLookasideBuffer::new(64);
+/// plb.begin(PageNumber(10), PageNumber(900)).unwrap();
+/// assert_eq!(plb.route_write(PageNumber(10), 3), Some(WriteRoute::CxlSsd));
+/// plb.mark_migrated(PageNumber(10), 3);
+/// assert_eq!(plb.route_write(PageNumber(10), 3), Some(WriteRoute::HostDram));
+/// let entry = plb.complete(PageNumber(10)).unwrap();
+/// assert_eq!(entry.destination, PageNumber(900));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PromotionLookasideBuffer {
+    capacity: usize,
+    entries: Vec<PlbEntry>,
+}
+
+impl PromotionLookasideBuffer {
+    /// Creates a PLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "PLB needs at least one entry");
+        PromotionLookasideBuffer {
+            capacity: capacity as usize,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Starts tracking a promotion of `source` (SSD page) to `destination`
+    /// (host page). Returns `Err` with the rejected pair if the PLB is full
+    /// or the source page is already migrating.
+    pub fn begin(
+        &mut self,
+        source: PageNumber,
+        destination: PageNumber,
+    ) -> Result<(), (PageNumber, PageNumber)> {
+        if self.entries.len() >= self.capacity || self.lookup(source).is_some() {
+            return Err((source, destination));
+        }
+        self.entries.push(PlbEntry {
+            source,
+            destination,
+            migrated_bitmap: 0,
+        });
+        Ok(())
+    }
+
+    /// The entry tracking `source`, if it is under promotion.
+    pub fn lookup(&self, source: PageNumber) -> Option<&PlbEntry> {
+        self.entries.iter().find(|e| e.source == source)
+    }
+
+    /// Whether `source` is currently being promoted.
+    pub fn is_migrating(&self, source: PageNumber) -> bool {
+        self.lookup(source).is_some()
+    }
+
+    /// Records that cacheline `cl` of `source` has been copied to the host.
+    /// Returns `false` if the page is not under promotion.
+    pub fn mark_migrated(&mut self, source: PageNumber, cl: CachelineIndex) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.source == source) {
+            e.migrated_bitmap |= 1u64 << (cl as usize % CACHELINES_PER_PAGE);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Routing decision for a *write* to a page under promotion, or `None`
+    /// if the page is not migrating (normal routing applies).
+    pub fn route_write(&self, source: PageNumber, cl: CachelineIndex) -> Option<WriteRoute> {
+        self.lookup(source).map(|e| {
+            if e.migrated_bitmap & (1u64 << (cl as usize % CACHELINES_PER_PAGE)) != 0 {
+                WriteRoute::HostDram
+            } else {
+                WriteRoute::CxlSsd
+            }
+        })
+    }
+
+    /// Finishes the promotion of `source`, removing and returning its entry.
+    pub fn complete(&mut self, source: PageNumber) -> Option<PlbEntry> {
+        let idx = self.entries.iter().position(|e| e.source == source)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Number of promotions in flight.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no more promotions can start.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Number of 4 KiB chunks in a 2 MiB huge page.
+pub const CHUNKS_PER_HUGE_PAGE: usize = 512;
+
+/// Two-level PLB entry for a 2 MiB huge-page migration (§IV).
+///
+/// The first level tracks which 4 KiB chunks have fully migrated (a 512-bit
+/// bitmap, 64 B). The second level tracks the cachelines of the single chunk
+/// currently being copied (8 B). The huge page is migrated chunk by chunk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HugePagePlb {
+    /// First huge page number (2 MiB aligned, expressed in 4 KiB pages).
+    base_page: PageNumber,
+    /// Destination base page in host DRAM.
+    dest_base_page: PageNumber,
+    /// Bit *i* set ⇔ 4 KiB chunk *i* has fully migrated.
+    chunk_bitmap: [u64; CHUNKS_PER_HUGE_PAGE / 64],
+    /// Chunk currently under migration, if any.
+    current_chunk: Option<u16>,
+    /// Cacheline bitmap of the current chunk.
+    current_chunk_bitmap: u64,
+}
+
+impl HugePagePlb {
+    /// Starts a huge-page migration from `base_page` (must be 2 MiB aligned,
+    /// i.e. a multiple of 512 small pages) to `dest_base_page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_page` is not 2 MiB aligned.
+    pub fn new(base_page: PageNumber, dest_base_page: PageNumber) -> Self {
+        assert_eq!(
+            base_page.index() % CHUNKS_PER_HUGE_PAGE as u64,
+            0,
+            "huge page base must be 2 MiB aligned"
+        );
+        HugePagePlb {
+            base_page,
+            dest_base_page,
+            chunk_bitmap: [0; CHUNKS_PER_HUGE_PAGE / 64],
+            current_chunk: None,
+            current_chunk_bitmap: 0,
+        }
+    }
+
+    /// Begins migrating chunk `chunk` (0..512).
+    ///
+    /// # Panics
+    ///
+    /// Panics if another chunk is still in flight or `chunk` is out of range.
+    pub fn begin_chunk(&mut self, chunk: u16) {
+        assert!((chunk as usize) < CHUNKS_PER_HUGE_PAGE, "chunk out of range");
+        assert!(self.current_chunk.is_none(), "a chunk is already migrating");
+        self.current_chunk = Some(chunk);
+        self.current_chunk_bitmap = 0;
+    }
+
+    /// Records that cacheline `cl` of the current chunk has been copied.
+    /// When all 64 cachelines are copied, the chunk is marked migrated and
+    /// the second-level entry is recycled; returns `true` in that case.
+    pub fn mark_cacheline(&mut self, cl: CachelineIndex) -> bool {
+        let chunk = self.current_chunk.expect("no chunk under migration");
+        self.current_chunk_bitmap |= 1u64 << (cl as usize % CACHELINES_PER_PAGE);
+        if self.current_chunk_bitmap == u64::MAX {
+            self.chunk_bitmap[chunk as usize / 64] |= 1u64 << (chunk % 64);
+            self.current_chunk = None;
+            self.current_chunk_bitmap = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the 4 KiB page `page` (inside this huge page) has fully
+    /// migrated to the host.
+    pub fn is_page_migrated(&self, page: PageNumber) -> bool {
+        let offset = page.index().wrapping_sub(self.base_page.index());
+        if offset >= CHUNKS_PER_HUGE_PAGE as u64 {
+            return false;
+        }
+        self.chunk_bitmap[offset as usize / 64] & (1u64 << (offset % 64)) != 0
+    }
+
+    /// Whether the entire huge page has migrated.
+    pub fn is_complete(&self) -> bool {
+        self.chunk_bitmap.iter().all(|w| *w == u64::MAX) && self.current_chunk.is_none()
+    }
+
+    /// Number of fully migrated 4 KiB chunks.
+    pub fn migrated_chunks(&self) -> u32 {
+        self.chunk_bitmap.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The host destination page for a given source page inside the huge
+    /// page.
+    pub fn destination_of(&self, page: PageNumber) -> PageNumber {
+        let offset = page.index() - self.base_page.index();
+        PageNumber(self.dest_base_page.index() + offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_route_complete_cycle() {
+        let mut plb = PromotionLookasideBuffer::new(2);
+        plb.begin(PageNumber(1), PageNumber(100)).unwrap();
+        assert!(plb.is_migrating(PageNumber(1)));
+        assert!(!plb.is_migrating(PageNumber(2)));
+        assert_eq!(plb.route_write(PageNumber(1), 0), Some(WriteRoute::CxlSsd));
+        plb.mark_migrated(PageNumber(1), 0);
+        assert_eq!(
+            plb.route_write(PageNumber(1), 0),
+            Some(WriteRoute::HostDram)
+        );
+        assert_eq!(plb.route_write(PageNumber(1), 1), Some(WriteRoute::CxlSsd));
+        assert_eq!(plb.route_write(PageNumber(5), 0), None);
+        let entry = plb.complete(PageNumber(1)).unwrap();
+        assert_eq!(entry.destination, PageNumber(100));
+        assert_eq!(entry.migrated_count(), 1);
+        assert!(plb.complete(PageNumber(1)).is_none());
+        assert_eq!(plb.occupancy(), 0);
+    }
+
+    #[test]
+    fn capacity_and_duplicates_rejected() {
+        let mut plb = PromotionLookasideBuffer::new(1);
+        plb.begin(PageNumber(1), PageNumber(10)).unwrap();
+        assert!(plb.is_full());
+        assert!(plb.begin(PageNumber(2), PageNumber(20)).is_err());
+        // Duplicate source also rejected.
+        let mut plb2 = PromotionLookasideBuffer::new(4);
+        plb2.begin(PageNumber(1), PageNumber(10)).unwrap();
+        assert!(plb2.begin(PageNumber(1), PageNumber(11)).is_err());
+        assert_eq!(plb2.capacity(), 4);
+    }
+
+    #[test]
+    fn entry_completion_bitmap() {
+        let mut plb = PromotionLookasideBuffer::new(1);
+        plb.begin(PageNumber(3), PageNumber(30)).unwrap();
+        for cl in 0..64u8 {
+            plb.mark_migrated(PageNumber(3), cl);
+        }
+        assert!(plb.lookup(PageNumber(3)).unwrap().is_complete());
+        assert!(!plb.mark_migrated(PageNumber(99), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn rejects_empty_plb() {
+        let _ = PromotionLookasideBuffer::new(0);
+    }
+
+    #[test]
+    fn huge_page_chunk_by_chunk() {
+        let mut h = HugePagePlb::new(PageNumber(512), PageNumber(4096));
+        assert_eq!(h.migrated_chunks(), 0);
+        h.begin_chunk(0);
+        for cl in 0..63u8 {
+            assert!(!h.mark_cacheline(cl));
+        }
+        assert!(h.mark_cacheline(63), "last cacheline completes the chunk");
+        assert_eq!(h.migrated_chunks(), 1);
+        assert!(h.is_page_migrated(PageNumber(512)));
+        assert!(!h.is_page_migrated(PageNumber(513)));
+        assert!(!h.is_page_migrated(PageNumber(2000)));
+        assert!(!h.is_complete());
+        assert_eq!(h.destination_of(PageNumber(513)), PageNumber(4097));
+    }
+
+    #[test]
+    fn huge_page_completes_after_all_chunks() {
+        let mut h = HugePagePlb::new(PageNumber(0), PageNumber(10_000));
+        for chunk in 0..CHUNKS_PER_HUGE_PAGE as u16 {
+            h.begin_chunk(chunk);
+            for cl in 0..64u8 {
+                h.mark_cacheline(cl);
+            }
+        }
+        assert!(h.is_complete());
+        assert_eq!(h.migrated_chunks(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn huge_page_requires_alignment() {
+        let _ = HugePagePlb::new(PageNumber(5), PageNumber(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already migrating")]
+    fn huge_page_one_chunk_at_a_time() {
+        let mut h = HugePagePlb::new(PageNumber(0), PageNumber(0));
+        h.begin_chunk(0);
+        h.begin_chunk(1);
+    }
+}

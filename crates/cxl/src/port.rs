@@ -1,0 +1,241 @@
+//! CXL link and protocol timing, plus transaction-tag allocation.
+
+use crate::message::Tag;
+use serde::{Deserialize, Serialize};
+use skybyte_types::{Nanos, CACHELINE_SIZE};
+
+/// Statistics of traffic that crossed the CXL link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CxlPortStats {
+    /// Number of host→SSD requests carried.
+    pub requests: u64,
+    /// Number of SSD→host responses carried.
+    pub responses: u64,
+    /// Payload bytes moved in either direction (cacheline data and page
+    /// migrations; header flits are not counted).
+    pub payload_bytes: u64,
+}
+
+/// Timing model of the CXL.mem port (PCIe 5.0 ×4 in Table II).
+///
+/// The protocol adds a fixed latency to every transaction (40 ns in the
+/// paper) and payloads are limited by the link bandwidth. The port keeps a
+/// single `busy_until` horizon per direction pair combined, which is a good
+/// approximation at the cacheline sizes involved because protocol latency,
+/// not serialisation, dominates.
+///
+/// # Example
+///
+/// ```
+/// use skybyte_cxl::CxlPort;
+/// use skybyte_types::Nanos;
+///
+/// let mut port = CxlPort::new(Nanos::new(40), 16 << 30);
+/// let arrival = port.deliver_cacheline(Nanos::ZERO);
+/// assert!(arrival >= Nanos::new(40));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CxlPort {
+    protocol_latency: Nanos,
+    bandwidth_bps: u64,
+    busy_until: Nanos,
+    busy_time: Nanos,
+    stats: CxlPortStats,
+}
+
+impl CxlPort {
+    /// Creates a port with the given one-way protocol latency and link
+    /// bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero.
+    pub fn new(protocol_latency: Nanos, bandwidth_bps: u64) -> Self {
+        assert!(bandwidth_bps > 0, "link bandwidth must be nonzero");
+        CxlPort {
+            protocol_latency,
+            bandwidth_bps,
+            busy_until: Nanos::ZERO,
+            busy_time: Nanos::ZERO,
+            stats: CxlPortStats::default(),
+        }
+    }
+
+    /// The fixed protocol latency added to each transaction.
+    pub fn protocol_latency(&self) -> Nanos {
+        self.protocol_latency
+    }
+
+    /// Serialisation time of `bytes` on the link.
+    pub fn transfer_time(&self, bytes: u64) -> Nanos {
+        if bytes == 0 {
+            return Nanos::ZERO;
+        }
+        let ns = (bytes as f64) * 1e9 / self.bandwidth_bps as f64;
+        Nanos::new(ns.ceil().max(1.0) as u64)
+    }
+
+    /// Carries a host→SSD request (no payload) issued at `now`; returns its
+    /// arrival time at the SSD controller.
+    pub fn deliver_request(&mut self, now: Nanos) -> Nanos {
+        self.stats.requests += 1;
+        self.occupy(now, 0)
+    }
+
+    /// Carries one 64-byte cacheline (either direction) at `now`; returns the
+    /// time the payload has fully arrived.
+    pub fn deliver_cacheline(&mut self, now: Nanos) -> Nanos {
+        self.stats.responses += 1;
+        self.stats.payload_bytes += CACHELINE_SIZE as u64;
+        self.occupy(now, CACHELINE_SIZE as u64)
+    }
+
+    /// Carries an arbitrary payload of `bytes` (page migration traffic) at
+    /// `now`; returns the completion time.
+    pub fn deliver_payload(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        self.stats.responses += 1;
+        self.stats.payload_bytes += bytes;
+        self.occupy(now, bytes)
+    }
+
+    /// Fraction of wall-clock time `[0, now]` the link spent transferring
+    /// payloads (bandwidth utilisation, the line series of Figure 15).
+    pub fn utilisation(&self, now: Nanos) -> f64 {
+        if now == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_nanos() as f64 / now.as_nanos() as f64).min(1.0)
+    }
+
+    /// Bytes per second actually moved over `[0, now]`.
+    pub fn achieved_bandwidth_bps(&self, now: Nanos) -> f64 {
+        if now == Nanos::ZERO {
+            return 0.0;
+        }
+        self.stats.payload_bytes as f64 * 1e9 / now.as_nanos() as f64
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &CxlPortStats {
+        &self.stats
+    }
+
+    fn occupy(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        let serialisation = self.transfer_time(bytes);
+        let start = now.max(self.busy_until);
+        let done = start + serialisation;
+        self.busy_until = done;
+        self.busy_time += serialisation;
+        done + self.protocol_latency
+    }
+}
+
+/// Allocates 16-bit CXL.mem transaction tags, recycling released tags.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TagAllocator {
+    next: u16,
+    free: Vec<Tag>,
+    outstanding: u32,
+}
+
+impl TagAllocator {
+    /// Creates an allocator with no tags outstanding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a tag; returns `None` if all 65 536 tags are in flight.
+    pub fn allocate(&mut self) -> Option<Tag> {
+        if let Some(t) = self.free.pop() {
+            self.outstanding += 1;
+            return Some(t);
+        }
+        if self.outstanding >= u32::from(u16::MAX) + 1 {
+            return None;
+        }
+        let t = self.next;
+        self.next = self.next.wrapping_add(1);
+        self.outstanding += 1;
+        Some(t)
+    }
+
+    /// Releases a tag for reuse.
+    pub fn release(&mut self, tag: Tag) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.free.push(tag);
+    }
+
+    /// Number of tags currently in flight.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_latency_is_added() {
+        let mut port = CxlPort::new(Nanos::new(40), 16 << 30);
+        let t = port.deliver_request(Nanos::new(100));
+        assert_eq!(t, Nanos::new(140));
+    }
+
+    #[test]
+    fn cacheline_serialisation_uses_bandwidth() {
+        // 64 B at 16 GiB/s ≈ 3.7 ns, rounded up to 4.
+        let mut port = CxlPort::new(Nanos::new(40), 16 << 30);
+        let t = port.deliver_cacheline(Nanos::ZERO);
+        assert!(t >= Nanos::new(43) && t <= Nanos::new(45), "got {t}");
+        assert_eq!(port.stats().payload_bytes, 64);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue_on_the_link() {
+        let mut port = CxlPort::new(Nanos::new(40), 1 << 30); // 1 GiB/s
+        let a = port.deliver_payload(Nanos::ZERO, 4096);
+        let b = port.deliver_payload(Nanos::ZERO, 4096);
+        assert!(b > a, "second transfer must wait for the first");
+        assert!(port.utilisation(b) > 0.5);
+        assert!(port.achieved_bandwidth_bps(b) > 0.0);
+    }
+
+    #[test]
+    fn zero_payload_has_zero_serialisation() {
+        let port = CxlPort::new(Nanos::new(40), 16 << 30);
+        assert_eq!(port.transfer_time(0), Nanos::ZERO);
+        assert_eq!(port.utilisation(Nanos::ZERO), 0.0);
+        assert_eq!(port.achieved_bandwidth_bps(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn rejects_zero_bandwidth() {
+        let _ = CxlPort::new(Nanos::new(40), 0);
+    }
+
+    #[test]
+    fn tag_allocation_recycles() {
+        let mut tags = TagAllocator::new();
+        let a = tags.allocate().unwrap();
+        let b = tags.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(tags.outstanding(), 2);
+        tags.release(a);
+        assert_eq!(tags.outstanding(), 1);
+        let c = tags.allocate().unwrap();
+        assert_eq!(c, a, "released tags are reused");
+    }
+
+    #[test]
+    fn tag_exhaustion_returns_none() {
+        let mut tags = TagAllocator::new();
+        for _ in 0..=u16::MAX as u32 {
+            assert!(tags.allocate().is_some());
+        }
+        assert!(tags.allocate().is_none());
+        tags.release(0);
+        assert!(tags.allocate().is_some());
+    }
+}

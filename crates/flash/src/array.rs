@@ -1,0 +1,263 @@
+//! The flash array: geometry plus one [`ChannelQueue`] per channel.
+
+use crate::channel::{ChannelQueue, QueueCounters};
+use crate::command::{FlashCommand, FlashCommandKind};
+use crate::stats::FlashStats;
+use serde::{Deserialize, Serialize};
+use skybyte_types::{FlashTimingConfig, Nanos, Ppa, SsdGeometry};
+
+/// A timing model of the whole NAND flash array.
+///
+/// The array owns one FIFO [`ChannelQueue`] per channel. Commands addressed to
+/// the same channel are serialised; different channels proceed in parallel,
+/// which is how SkyByte's log compaction exploits channel parallelism when
+/// flushing coalesced pages (§III-B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlashArray {
+    geometry: SsdGeometry,
+    timing: FlashTimingConfig,
+    channels: Vec<ChannelQueue>,
+    stats: FlashStats,
+}
+
+impl FlashArray {
+    /// Creates an idle flash array with the given geometry and NAND timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero channels.
+    pub fn new(geometry: SsdGeometry, timing: FlashTimingConfig) -> Self {
+        assert!(geometry.channels > 0, "flash array needs at least 1 channel");
+        FlashArray {
+            geometry,
+            timing,
+            channels: (0..geometry.channels).map(|_| ChannelQueue::new()).collect(),
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// The flash geometry this array models.
+    pub fn geometry(&self) -> &SsdGeometry {
+        &self.geometry
+    }
+
+    /// The NAND timing parameters in use.
+    pub fn timing(&self) -> &FlashTimingConfig {
+        &self.timing
+    }
+
+    /// Submits a command to the channel named by `ppa.channel` at time `now`
+    /// and returns its completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppa.channel` is outside the configured geometry.
+    pub fn submit(&mut self, kind: FlashCommandKind, ppa: Ppa, now: Nanos) -> Nanos {
+        self.submit_command(kind, ppa, now).completes_at
+    }
+
+    /// Submits a command and returns the full [`FlashCommand`] record
+    /// (submission, start, completion times).
+    pub fn submit_command(&mut self, kind: FlashCommandKind, ppa: Ppa, now: Nanos) -> FlashCommand {
+        let ch = ppa.channel as usize;
+        assert!(
+            ch < self.channels.len(),
+            "channel {ch} out of range ({} channels)",
+            self.channels.len()
+        );
+        let cmd = self.channels[ch].submit(kind, ppa, now, &self.timing);
+        match kind {
+            FlashCommandKind::Read => {
+                self.stats.pages_read += 1;
+                self.stats.total_read_latency += cmd.total_latency();
+            }
+            FlashCommandKind::Program => {
+                self.stats.pages_programmed += 1;
+                self.stats.total_program_latency += cmd.total_latency();
+            }
+            FlashCommandKind::Erase => self.stats.blocks_erased += 1,
+        }
+        cmd
+    }
+
+    /// Retires completed commands on every channel up to time `now`.
+    pub fn retire_completed(&mut self, now: Nanos) -> Vec<FlashCommand> {
+        let mut out = Vec::new();
+        for ch in &mut self.channels {
+            out.extend(ch.retire_completed(now));
+        }
+        out
+    }
+
+    /// Queue counters of the channel that `ppa` maps to — the input to the
+    /// context-switch trigger policy (Algorithm 1, line 4).
+    pub fn channel_counters(&self, ppa: Ppa) -> QueueCounters {
+        self.channels[ppa.channel as usize].counters()
+    }
+
+    /// Estimated latency of a new read issued to the channel of `ppa`,
+    /// per Algorithm 1 lines 5–6.
+    pub fn estimate_read_latency(&self, ppa: Ppa) -> Nanos {
+        self.channel_counters(ppa).estimate_read_latency(&self.timing)
+    }
+
+    /// The channel with the shortest backlog at time `now`; used by log
+    /// compaction to spread page flushes across channels.
+    pub fn least_busy_channel(&self) -> u16 {
+        self.channels
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| q.busy_until())
+            .map(|(i, _)| i as u16)
+            .expect("at least one channel")
+    }
+
+    /// Aggregate busy time across all channels (for bandwidth utilisation).
+    pub fn total_busy_time(&self) -> Nanos {
+        self.channels.iter().map(|c| c.busy_time()).sum()
+    }
+
+    /// Time at which every channel is idle.
+    pub fn all_idle_at(&self) -> Nanos {
+        self.channels
+            .iter()
+            .map(|c| c.busy_until())
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+
+    /// Whether every channel queue is empty.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(ChannelQueue::is_idle)
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skybyte_types::{NandKind, SsdConfig};
+
+    fn small_array() -> FlashArray {
+        let geometry = SsdGeometry {
+            channels: 4,
+            chips_per_channel: 1,
+            dies_per_chip: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 8,
+            pages_per_block: 16,
+            page_size_bytes: 4096,
+        };
+        FlashArray::new(geometry, FlashTimingConfig::for_kind(NandKind::Ull))
+    }
+
+    #[test]
+    fn default_geometry_matches_table2() {
+        let cfg = SsdConfig::default();
+        let arr = FlashArray::new(cfg.geometry, cfg.flash);
+        assert_eq!(arr.channel_count(), 16);
+        assert_eq!(arr.geometry().total_bytes(), 128 << 30);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut arr = small_array();
+        let a = arr.submit(
+            FlashCommandKind::Read,
+            Ppa::new(0, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
+        let b = arr.submit(
+            FlashCommandKind::Read,
+            Ppa::new(1, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
+        // Different channels: both finish after one tR.
+        assert_eq!(a, Nanos::from_micros(3));
+        assert_eq!(b, Nanos::from_micros(3));
+        // Same channel: serialised.
+        let c = arr.submit(
+            FlashCommandKind::Read,
+            Ppa::new(0, 0, 0, 0, 0, 1),
+            Nanos::ZERO,
+        );
+        assert_eq!(c, Nanos::from_micros(6));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut arr = small_array();
+        arr.submit(FlashCommandKind::Read, Ppa::new(0, 0, 0, 0, 0, 0), Nanos::ZERO);
+        arr.submit(
+            FlashCommandKind::Program,
+            Ppa::new(1, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
+        arr.submit(FlashCommandKind::Erase, Ppa::new(2, 0, 0, 0, 0, 0), Nanos::ZERO);
+        let s = arr.stats();
+        assert_eq!(s.pages_read, 1);
+        assert_eq!(s.pages_programmed, 1);
+        assert_eq!(s.blocks_erased, 1);
+        assert_eq!(s.avg_read_latency(), Nanos::from_micros(3));
+        assert_eq!(s.avg_program_latency(), Nanos::from_micros(100));
+    }
+
+    #[test]
+    fn estimate_tracks_queue_contents() {
+        let mut arr = small_array();
+        let target = Ppa::new(2, 0, 0, 0, 0, 0);
+        assert_eq!(arr.estimate_read_latency(target), Nanos::from_micros(3));
+        arr.submit(FlashCommandKind::Program, target, Nanos::ZERO);
+        assert_eq!(arr.estimate_read_latency(target), Nanos::from_micros(103));
+        arr.submit(FlashCommandKind::Erase, target, Nanos::ZERO);
+        assert_eq!(arr.estimate_read_latency(target), Nanos::from_micros(1103));
+        // Other channels are unaffected.
+        assert_eq!(
+            arr.estimate_read_latency(Ppa::new(3, 0, 0, 0, 0, 0)),
+            Nanos::from_micros(3)
+        );
+        // After retirement the estimate drops back.
+        arr.retire_completed(Nanos::from_secs(1));
+        assert_eq!(arr.estimate_read_latency(target), Nanos::from_micros(3));
+    }
+
+    #[test]
+    fn least_busy_channel_prefers_idle() {
+        let mut arr = small_array();
+        arr.submit(FlashCommandKind::Erase, Ppa::new(0, 0, 0, 0, 0, 0), Nanos::ZERO);
+        arr.submit(FlashCommandKind::Program, Ppa::new(1, 0, 0, 0, 0, 0), Nanos::ZERO);
+        let ch = arr.least_busy_channel();
+        assert!(ch == 2 || ch == 3, "expected an idle channel, got {ch}");
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut arr = small_array();
+        assert!(arr.is_idle());
+        arr.submit(FlashCommandKind::Read, Ppa::new(0, 0, 0, 0, 0, 0), Nanos::ZERO);
+        assert!(!arr.is_idle());
+        assert_eq!(arr.all_idle_at(), Nanos::from_micros(3));
+        arr.retire_completed(Nanos::from_micros(3));
+        assert!(arr.is_idle());
+        assert_eq!(arr.total_busy_time(), Nanos::from_micros(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_channel() {
+        let mut arr = small_array();
+        arr.submit(
+            FlashCommandKind::Read,
+            Ppa::new(99, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-channel FIFO command queue.
+//!
+//! The paper's latency-estimation policy (Algorithm 1) inspects the number of
+//! queued reads, programs and erases on the channel a request maps to, and
+//! estimates the request's delay as the sum of the service times of everything
+//! ahead of it. [`ChannelQueue`] maintains exactly that state: a FIFO of
+//! in-flight commands, the time the channel becomes idle, and per-kind
+//! counters of queued commands.
+
+use crate::command::{FlashCommand, FlashCommandKind};
+use serde::{Deserialize, Serialize};
+use skybyte_types::{FlashTimingConfig, Nanos, Ppa};
+use std::collections::VecDeque;
+
+/// Counts of commands currently queued or in service on one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueCounters {
+    /// Queued/in-service page reads.
+    pub reads: u32,
+    /// Queued/in-service page programs.
+    pub writes: u32,
+    /// Queued/in-service block erases.
+    pub erases: u32,
+}
+
+impl QueueCounters {
+    /// Total number of commands outstanding.
+    pub fn total(&self) -> u32 {
+        self.reads + self.writes + self.erases
+    }
+
+    /// Implements line 5–6 of Algorithm 1: the estimated latency of a *new*
+    /// read arriving behind the queued work.
+    ///
+    /// `est = read_lat * (num_read + 1) + write_lat * num_write + erase_lat * num_erase`
+    pub fn estimate_read_latency(&self, timing: &FlashTimingConfig) -> Nanos {
+        timing.read_latency.scaled(self.reads as u64 + 1)
+            + timing.program_latency.scaled(self.writes as u64)
+            + timing.erase_latency.scaled(self.erases as u64)
+    }
+}
+
+/// A FIFO command queue for a single flash channel.
+///
+/// Commands are serialised on the channel: each command starts when the
+/// previous one completes (or immediately if the channel is idle).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChannelQueue {
+    /// Commands that have been submitted and not yet retired by
+    /// [`ChannelQueue::retire_completed`].
+    inflight: VecDeque<FlashCommand>,
+    /// Time at which the channel finishes its last accepted command.
+    busy_until: Nanos,
+    /// Cumulative busy time of the channel (for bandwidth-utilisation stats).
+    busy_time: Nanos,
+    counters: QueueCounters,
+}
+
+impl ChannelQueue {
+    /// Creates an idle channel queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a command at time `now` and returns the full command record,
+    /// including its completion time.
+    pub fn submit(
+        &mut self,
+        kind: FlashCommandKind,
+        target: Ppa,
+        now: Nanos,
+        timing: &FlashTimingConfig,
+    ) -> FlashCommand {
+        let starts_at = now.max(self.busy_until);
+        let service = kind.latency(timing);
+        let completes_at = starts_at + service;
+        self.busy_until = completes_at;
+        self.busy_time += service;
+        match kind {
+            FlashCommandKind::Read => self.counters.reads += 1,
+            FlashCommandKind::Program => self.counters.writes += 1,
+            FlashCommandKind::Erase => self.counters.erases += 1,
+        }
+        let cmd = FlashCommand {
+            kind,
+            target,
+            submitted_at: now,
+            starts_at,
+            completes_at,
+        };
+        self.inflight.push_back(cmd);
+        cmd
+    }
+
+    /// Retires every command that has completed by `now`, updating the queue
+    /// counters, and returns the retired commands in completion order.
+    pub fn retire_completed(&mut self, now: Nanos) -> Vec<FlashCommand> {
+        let mut done = Vec::new();
+        while let Some(front) = self.inflight.front() {
+            if front.completes_at <= now {
+                let cmd = self.inflight.pop_front().expect("front exists");
+                match cmd.kind {
+                    FlashCommandKind::Read => self.counters.reads -= 1,
+                    FlashCommandKind::Program => self.counters.writes -= 1,
+                    FlashCommandKind::Erase => self.counters.erases -= 1,
+                }
+                done.push(cmd);
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Current per-kind counters of queued/in-service commands.
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
+    }
+
+    /// Number of commands still queued or in service.
+    pub fn depth(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Time at which the channel becomes idle given everything submitted so
+    /// far.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Total time this channel has spent (or is committed to spend) servicing
+    /// commands.
+    pub fn busy_time(&self) -> Nanos {
+        self.busy_time
+    }
+
+    /// Whether no commands are outstanding.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skybyte_types::NandKind;
+
+    fn timing() -> FlashTimingConfig {
+        FlashTimingConfig::for_kind(NandKind::Ull)
+    }
+
+    #[test]
+    fn fifo_serialises_commands() {
+        let mut q = ChannelQueue::new();
+        let t = timing();
+        let a = q.submit(FlashCommandKind::Read, Ppa::default(), Nanos::ZERO, &t);
+        let b = q.submit(FlashCommandKind::Read, Ppa::default(), Nanos::ZERO, &t);
+        assert_eq!(a.completes_at, Nanos::from_micros(3));
+        assert_eq!(b.starts_at, a.completes_at);
+        assert_eq!(b.completes_at, Nanos::from_micros(6));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.counters().reads, 2);
+    }
+
+    #[test]
+    fn idle_gap_resets_start_time() {
+        let mut q = ChannelQueue::new();
+        let t = timing();
+        let a = q.submit(FlashCommandKind::Read, Ppa::default(), Nanos::ZERO, &t);
+        // Submit long after the first finished: starts immediately.
+        let late = Nanos::from_micros(50);
+        let b = q.submit(FlashCommandKind::Read, Ppa::default(), late, &t);
+        assert_eq!(b.starts_at, late);
+        assert_eq!(b.queueing_delay(), Nanos::ZERO);
+        assert!(a.completes_at < b.starts_at);
+    }
+
+    #[test]
+    fn retire_updates_counters() {
+        let mut q = ChannelQueue::new();
+        let t = timing();
+        q.submit(FlashCommandKind::Read, Ppa::default(), Nanos::ZERO, &t);
+        q.submit(FlashCommandKind::Program, Ppa::default(), Nanos::ZERO, &t);
+        q.submit(FlashCommandKind::Erase, Ppa::default(), Nanos::ZERO, &t);
+        assert_eq!(q.counters().total(), 3);
+
+        // After tR the read is done.
+        let retired = q.retire_completed(Nanos::from_micros(3));
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].kind, FlashCommandKind::Read);
+        assert_eq!(q.counters().reads, 0);
+        assert_eq!(q.counters().total(), 2);
+
+        // Far in the future everything drains.
+        let retired = q.retire_completed(Nanos::from_secs(1));
+        assert_eq!(retired.len(), 2);
+        assert!(q.is_idle());
+        assert_eq!(q.counters().total(), 0);
+    }
+
+    #[test]
+    fn estimate_matches_algorithm1() {
+        let t = timing();
+        let c = QueueCounters {
+            reads: 2,
+            writes: 1,
+            erases: 1,
+        };
+        // 3us * (2+1) + 100us * 1 + 1000us * 1 = 1109us
+        assert_eq!(c.estimate_read_latency(&t), Nanos::from_micros(1109));
+        let empty = QueueCounters::default();
+        assert_eq!(empty.estimate_read_latency(&t), Nanos::from_micros(3));
+    }
+
+    #[test]
+    fn busy_time_accumulates_service_only() {
+        let mut q = ChannelQueue::new();
+        let t = timing();
+        q.submit(FlashCommandKind::Read, Ppa::default(), Nanos::ZERO, &t);
+        q.submit(
+            FlashCommandKind::Program,
+            Ppa::default(),
+            Nanos::from_micros(500),
+            &t,
+        );
+        assert_eq!(q.busy_time(), Nanos::from_micros(103));
+        assert_eq!(q.busy_until(), Nanos::from_micros(600));
+    }
+
+    #[test]
+    fn erase_blocks_following_reads() {
+        // A GC erase ahead of a read delays it by tBERS, exactly the
+        // interference the trigger policy must see.
+        let mut q = ChannelQueue::new();
+        let t = timing();
+        q.submit(FlashCommandKind::Erase, Ppa::default(), Nanos::ZERO, &t);
+        let r = q.submit(FlashCommandKind::Read, Ppa::default(), Nanos::ZERO, &t);
+        assert_eq!(r.starts_at, Nanos::from_micros(1000));
+        assert_eq!(r.total_latency(), Nanos::from_micros(1003));
+    }
+}

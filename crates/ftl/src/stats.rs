@@ -1,0 +1,54 @@
+//! FTL-level statistics: write amplification and garbage-collection activity.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the [`crate::Ftl`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Logical pages written by the host (or by log compaction on behalf of
+    /// the host).
+    pub host_pages_written: u64,
+    /// Physical pages programmed, including GC relocations.
+    pub flash_pages_programmed: u64,
+    /// Physical pages read on behalf of GC relocation.
+    pub gc_pages_read: u64,
+    /// Physical pages re-programmed by GC relocation.
+    pub gc_pages_relocated: u64,
+    /// Blocks erased by GC.
+    pub blocks_erased: u64,
+    /// Number of GC campaigns triggered.
+    pub gc_campaigns: u64,
+}
+
+impl FtlStats {
+    /// Write-amplification factor: physical programs per host page written.
+    /// Returns 1.0 when nothing has been written yet.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_pages_written == 0 {
+            1.0
+        } else {
+            self.flash_pages_programmed as f64 / self.host_pages_written as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waf_defaults_to_one() {
+        assert_eq!(FtlStats::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn waf_counts_gc_overhead() {
+        let s = FtlStats {
+            host_pages_written: 100,
+            flash_pages_programmed: 150,
+            gc_pages_relocated: 50,
+            ..Default::default()
+        };
+        assert!((s.write_amplification() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Virtual memory: page table and TLB.
+//!
+//! The whole CXL-SSD is mapped into the system physical address space as
+//! host-managed device memory. The OS page table records, for every virtual
+//! page of the workload, whether it currently lives in host DRAM (because it
+//! was promoted) or in the CXL-SSD. Page migration updates the PTE and
+//! invalidates the TLB entry, triggering a TLB shootdown on every core
+//! (modelled as a fixed cost counted by the simulator).
+
+use serde::{Deserialize, Serialize};
+use skybyte_types::{Lpa, Nanos, PageNumber};
+use std::collections::HashMap;
+
+/// Where a virtual page currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePlacement {
+    /// The page has been promoted to host DRAM at the given host page.
+    HostDram(PageNumber),
+    /// The page lives in the CXL-SSD at the given logical page address.
+    CxlSsd(Lpa),
+}
+
+impl PagePlacement {
+    /// Whether the page is in host DRAM.
+    pub fn is_host(&self) -> bool {
+        matches!(self, PagePlacement::HostDram(_))
+    }
+}
+
+/// The OS page table for the simulated workload address space.
+///
+/// By default every virtual page is identity-mapped into the CXL-SSD
+/// (virtual page *n* → LPA *n*), which models the paper's setup where "all
+/// data are initially stored in CXL-SSD". Promotions and demotions update
+/// individual entries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PageTable {
+    overrides: HashMap<PageNumber, PagePlacement>,
+    promoted_pages: u64,
+    updates: u64,
+}
+
+impl PageTable {
+    /// Creates a page table with the default all-in-SSD identity mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Translates a virtual page to its current placement.
+    pub fn translate(&self, vpage: PageNumber) -> PagePlacement {
+        self.overrides
+            .get(&vpage)
+            .copied()
+            .unwrap_or(PagePlacement::CxlSsd(Lpa::new(vpage.index())))
+    }
+
+    /// Points a virtual page at a host DRAM page (promotion). Returns the
+    /// previous placement.
+    pub fn promote(&mut self, vpage: PageNumber, host_page: PageNumber) -> PagePlacement {
+        let old = self.translate(vpage);
+        self.overrides
+            .insert(vpage, PagePlacement::HostDram(host_page));
+        if !old.is_host() {
+            self.promoted_pages += 1;
+        }
+        self.updates += 1;
+        old
+    }
+
+    /// Points a virtual page back at the CXL-SSD (demotion/eviction). Returns
+    /// the previous placement.
+    pub fn demote(&mut self, vpage: PageNumber, lpa: Lpa) -> PagePlacement {
+        let old = self.translate(vpage);
+        self.overrides.insert(vpage, PagePlacement::CxlSsd(lpa));
+        if old.is_host() {
+            self.promoted_pages = self.promoted_pages.saturating_sub(1);
+        }
+        self.updates += 1;
+        old
+    }
+
+    /// Number of virtual pages currently placed in host DRAM.
+    pub fn promoted_pages(&self) -> u64 {
+        self.promoted_pages
+    }
+
+    /// Number of PTE updates performed (promotions + demotions).
+    pub fn pte_updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+/// A simple fully-associative LRU TLB with shootdown accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tlb {
+    capacity: usize,
+    entries: Vec<(PageNumber, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    shootdowns: u64,
+    miss_penalty: Nanos,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries and the given page-walk penalty
+    /// charged on each miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, miss_penalty: Nanos) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            shootdowns: 0,
+            miss_penalty,
+        }
+    }
+
+    /// Looks up a virtual page, filling the TLB on a miss. Returns the
+    /// latency contributed by translation (zero on a hit, the walk penalty on
+    /// a miss).
+    pub fn access(&mut self, vpage: PageNumber) -> Nanos {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == vpage) {
+            e.1 = tick;
+            self.hits += 1;
+            return Nanos::ZERO;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpage, tick));
+        self.miss_penalty
+    }
+
+    /// Invalidates the entry for `vpage` (TLB shootdown after a migration).
+    /// Returns `true` if an entry was present.
+    pub fn shootdown(&mut self, vpage: PageNumber) -> bool {
+        self.shootdowns += 1;
+        if let Some(pos) = self.entries.iter().position(|(p, _)| *p == vpage) {
+            self.entries.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of shootdowns received.
+    pub fn shootdowns(&self) -> u64 {
+        self.shootdowns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mapping_is_identity_into_ssd() {
+        let pt = PageTable::new();
+        assert_eq!(
+            pt.translate(PageNumber(42)),
+            PagePlacement::CxlSsd(Lpa::new(42))
+        );
+        assert!(!pt.translate(PageNumber(42)).is_host());
+        assert_eq!(pt.promoted_pages(), 0);
+    }
+
+    #[test]
+    fn promote_and_demote_update_counts() {
+        let mut pt = PageTable::new();
+        let old = pt.promote(PageNumber(1), PageNumber(1000));
+        assert_eq!(old, PagePlacement::CxlSsd(Lpa::new(1)));
+        assert_eq!(
+            pt.translate(PageNumber(1)),
+            PagePlacement::HostDram(PageNumber(1000))
+        );
+        assert_eq!(pt.promoted_pages(), 1);
+        // Promoting an already-promoted page does not double count.
+        pt.promote(PageNumber(1), PageNumber(1001));
+        assert_eq!(pt.promoted_pages(), 1);
+        let old = pt.demote(PageNumber(1), Lpa::new(1));
+        assert!(old.is_host());
+        assert_eq!(pt.promoted_pages(), 0);
+        assert_eq!(pt.pte_updates(), 3);
+    }
+
+    #[test]
+    fn tlb_hit_miss_and_lru() {
+        let mut tlb = Tlb::new(2, Nanos::new(100));
+        assert_eq!(tlb.access(PageNumber(1)), Nanos::new(100));
+        assert_eq!(tlb.access(PageNumber(1)), Nanos::ZERO);
+        tlb.access(PageNumber(2));
+        // Touch 1 so 2 is LRU, then insert 3: 2 evicted.
+        tlb.access(PageNumber(1));
+        tlb.access(PageNumber(3));
+        assert_eq!(tlb.access(PageNumber(2)), Nanos::new(100));
+        let (hits, misses) = tlb.hit_miss();
+        assert!(hits >= 2 && misses >= 3);
+    }
+
+    #[test]
+    fn tlb_shootdown_invalidates() {
+        let mut tlb = Tlb::new(4, Nanos::new(50));
+        tlb.access(PageNumber(9));
+        assert!(tlb.shootdown(PageNumber(9)));
+        assert!(!tlb.shootdown(PageNumber(9)));
+        assert_eq!(tlb.shootdowns(), 2);
+        assert_eq!(tlb.access(PageNumber(9)), Nanos::new(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn tlb_rejects_zero_capacity() {
+        let _ = Tlb::new(0, Nanos::ZERO);
+    }
+}

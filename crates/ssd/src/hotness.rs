@@ -1,0 +1,157 @@
+//! Per-page access tracking for adaptive page migration (§III-C).
+//!
+//! The SSD controller counts accesses to each logical page. Pages whose count
+//! exceeds a threshold become promotion candidates; SkyByte only promotes
+//! pages that are resident in the SSD DRAM data cache (the candidate hot
+//! pages are there by construction).
+
+use serde::{Deserialize, Serialize};
+use skybyte_types::Lpa;
+use std::collections::HashMap;
+
+/// Tracks per-page access counts and nominates promotion candidates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotPageTracker {
+    threshold: u32,
+    counts: HashMap<Lpa, u32>,
+    /// Pages that crossed the threshold and have not been taken yet.
+    candidates: Vec<Lpa>,
+    promoted: HashMap<Lpa, ()>,
+}
+
+impl HotPageTracker {
+    /// Creates a tracker that nominates pages after `threshold` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold > 0, "hotness threshold must be at least 1");
+        HotPageTracker {
+            threshold,
+            counts: HashMap::new(),
+            candidates: Vec::new(),
+            promoted: HashMap::new(),
+        }
+    }
+
+    /// Records one access to `lpa`. Returns `true` if this access made the
+    /// page cross the hotness threshold.
+    pub fn record_access(&mut self, lpa: Lpa) -> bool {
+        if self.promoted.contains_key(&lpa) {
+            return false;
+        }
+        let count = self.counts.entry(lpa).or_insert(0);
+        *count += 1;
+        if *count == self.threshold {
+            self.candidates.push(lpa);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Access count of a page.
+    pub fn count(&self, lpa: Lpa) -> u32 {
+        self.counts.get(&lpa).copied().unwrap_or(0)
+    }
+
+    /// Takes the next promotion candidate, filtered by `eligible` (typically
+    /// "is the page still resident in the data cache"). Ineligible candidates
+    /// are dropped back to cold state so they can re-qualify later.
+    pub fn take_candidate(&mut self, mut eligible: impl FnMut(Lpa) -> bool) -> Option<Lpa> {
+        while let Some(lpa) = self.candidates.pop() {
+            if eligible(lpa) {
+                return Some(lpa);
+            }
+            // Reset so the page can become a candidate again if it stays hot.
+            self.counts.insert(lpa, 0);
+        }
+        None
+    }
+
+    /// Number of pending candidates.
+    pub fn pending_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Marks a page as promoted so it is no longer tracked.
+    pub fn mark_promoted(&mut self, lpa: Lpa) {
+        self.promoted.insert(lpa, ());
+        self.counts.remove(&lpa);
+        self.candidates.retain(|c| *c != lpa);
+    }
+
+    /// Marks a page as demoted back to the SSD so it is tracked again.
+    pub fn mark_demoted(&mut self, lpa: Lpa) {
+        self.promoted.remove(&lpa);
+        self.counts.insert(lpa, 0);
+    }
+
+    /// Number of pages currently marked promoted.
+    pub fn promoted_count(&self) -> usize {
+        self.promoted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crosses_threshold_once() {
+        let mut t = HotPageTracker::new(3);
+        assert!(!t.record_access(Lpa::new(1)));
+        assert!(!t.record_access(Lpa::new(1)));
+        assert!(t.record_access(Lpa::new(1)));
+        // Further accesses do not re-nominate.
+        assert!(!t.record_access(Lpa::new(1)));
+        assert_eq!(t.count(Lpa::new(1)), 4);
+        assert_eq!(t.pending_candidates(), 1);
+    }
+
+    #[test]
+    fn take_candidate_respects_eligibility() {
+        let mut t = HotPageTracker::new(1);
+        t.record_access(Lpa::new(1));
+        t.record_access(Lpa::new(2));
+        // Page 2 is not eligible (e.g. evicted from the data cache).
+        let got = t.take_candidate(|lpa| lpa == Lpa::new(1));
+        assert_eq!(got, Some(Lpa::new(1)));
+        assert_eq!(t.pending_candidates(), 0);
+        // Page 2 was reset, not lost: it can re-qualify.
+        assert_eq!(t.count(Lpa::new(2)), 0);
+        assert!(t.record_access(Lpa::new(2)));
+    }
+
+    #[test]
+    fn promoted_pages_are_not_tracked() {
+        let mut t = HotPageTracker::new(2);
+        t.record_access(Lpa::new(5));
+        t.mark_promoted(Lpa::new(5));
+        assert_eq!(t.promoted_count(), 1);
+        assert!(!t.record_access(Lpa::new(5)));
+        assert_eq!(t.count(Lpa::new(5)), 0);
+        // After demotion the page is tracked again.
+        t.mark_demoted(Lpa::new(5));
+        assert_eq!(t.promoted_count(), 0);
+        assert!(!t.record_access(Lpa::new(5)));
+        assert!(t.record_access(Lpa::new(5)));
+    }
+
+    #[test]
+    fn mark_promoted_clears_pending_candidacy() {
+        let mut t = HotPageTracker::new(1);
+        t.record_access(Lpa::new(9));
+        assert_eq!(t.pending_candidates(), 1);
+        t.mark_promoted(Lpa::new(9));
+        assert_eq!(t.pending_candidates(), 0);
+        assert_eq!(t.take_candidate(|_| true), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_zero_threshold() {
+        let _ = HotPageTracker::new(0);
+    }
+}

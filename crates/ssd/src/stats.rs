@@ -1,0 +1,153 @@
+//! Controller-level statistics and per-access timing breakdowns.
+
+use serde::{Deserialize, Serialize};
+use skybyte_types::Nanos;
+use std::fmt;
+
+/// Which structure ultimately served (or absorbed) a CXL access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServedBy {
+    /// The cacheline-granular write log (write append or read hit).
+    WriteLog,
+    /// The page-granular data cache in the SSD DRAM.
+    DataCache,
+    /// A flash page access was required (SSD DRAM miss).
+    Flash,
+    /// The page was never written: the controller returns zeroes without
+    /// touching flash.
+    ZeroFill,
+}
+
+impl fmt::Display for ServedBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServedBy::WriteLog => "write-log",
+            ServedBy::DataCache => "data-cache",
+            ServedBy::Flash => "flash",
+            ServedBy::ZeroFill => "zero-fill",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-access latency breakdown inside the SSD, in the components plotted in
+/// Figure 17 (the host adds the CXL-protocol and host-DRAM components).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessBreakdown {
+    /// Time spent looking up the write-log / data-cache indexes.
+    pub indexing: Nanos,
+    /// Time spent accessing the SSD-internal DRAM.
+    pub ssd_dram: Nanos,
+    /// Time spent waiting for flash (queueing + tR/tProg), zero on hits.
+    pub flash: Nanos,
+}
+
+impl AccessBreakdown {
+    /// Total device-side latency of the access.
+    pub fn total(&self) -> Nanos {
+        self.indexing + self.ssd_dram + self.flash
+    }
+}
+
+/// Aggregate counters of the SSD controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SsdStats {
+    /// Cacheline reads received over CXL.
+    pub reads: u64,
+    /// Cacheline writes received over CXL.
+    pub writes: u64,
+    /// Reads served by the write log.
+    pub read_log_hits: u64,
+    /// Reads served by the data cache.
+    pub read_cache_hits: u64,
+    /// Reads that required a flash page fetch.
+    pub read_flash_misses: u64,
+    /// Reads of never-written pages served as zero-fill.
+    pub read_zero_fills: u64,
+    /// Writes absorbed by the write log.
+    pub write_log_appends: u64,
+    /// Writes that hit the data cache (Base-CSSD path, or the parallel W2
+    /// update in SkyByte).
+    pub write_cache_hits: u64,
+    /// Writes that forced a flash page fetch (Base-CSSD read-modify-write).
+    pub write_flash_misses: u64,
+    /// `SkyByte-Delay` hints sent to the host.
+    pub delay_hints: u64,
+    /// Log compactions executed.
+    pub compactions: u64,
+    /// Pages flushed to flash by compaction.
+    pub compaction_pages_flushed: u64,
+    /// Total wall-clock time spent in compaction campaigns.
+    pub compaction_time: Nanos,
+    /// Dirty pages written back on data-cache eviction (Base-CSSD).
+    pub eviction_writebacks: u64,
+    /// Pages prefetched from flash into the data cache.
+    pub prefetches: u64,
+    /// Pages removed from the SSD caches because they were promoted to host
+    /// DRAM.
+    pub pages_promoted: u64,
+}
+
+impl SsdStats {
+    /// Total accesses received.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of reads that hit in SSD DRAM (log or cache).
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        (self.read_log_hits + self.read_cache_hits + self.read_zero_fills) as f64
+            / self.reads as f64
+    }
+
+    /// Average duration of one compaction campaign.
+    pub fn avg_compaction_time(&self) -> Nanos {
+        if self.compactions == 0 {
+            Nanos::ZERO
+        } else {
+            self.compaction_time / self.compactions
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total() {
+        let b = AccessBreakdown {
+            indexing: Nanos::new(72),
+            ssd_dram: Nanos::new(90),
+            flash: Nanos::from_micros(3),
+        };
+        assert_eq!(b.total(), Nanos::new(3162));
+    }
+
+    #[test]
+    fn hit_rate_and_averages() {
+        let mut s = SsdStats::default();
+        assert_eq!(s.read_hit_rate(), 0.0);
+        assert_eq!(s.avg_compaction_time(), Nanos::ZERO);
+        s.reads = 10;
+        s.read_log_hits = 3;
+        s.read_cache_hits = 4;
+        s.read_zero_fills = 1;
+        s.read_flash_misses = 2;
+        assert!((s.read_hit_rate() - 0.8).abs() < 1e-12);
+        s.compactions = 2;
+        s.compaction_time = Nanos::from_micros(300);
+        assert_eq!(s.avg_compaction_time(), Nanos::from_micros(150));
+        s.writes = 5;
+        assert_eq!(s.total_accesses(), 15);
+    }
+
+    #[test]
+    fn served_by_display() {
+        assert_eq!(ServedBy::WriteLog.to_string(), "write-log");
+        assert_eq!(ServedBy::Flash.to_string(), "flash");
+    }
+}

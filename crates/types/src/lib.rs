@@ -1,0 +1,74 @@
+//! Common foundational types for the SkyByte CXL-SSD simulation stack.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`addr`] — strongly-typed addresses for each address space that appears in
+//!   a memory-semantic SSD system (host virtual, host physical, SSD logical
+//!   page, flash physical page, cacheline offsets, …).
+//! * [`time`] — nanosecond-resolution simulated time ([`Nanos`]) and frequency
+//!   helpers.
+//! * [`access`] — the memory-access records exchanged between the host CPU
+//!   model, the CXL port and the SSD controller.
+//! * [`config`] — the full simulator configuration mirroring Table II of the
+//!   SkyByte paper, including every knob exposed by the original artifact
+//!   (`promotion_enable`, `write_log_enable`, `device_triggered_ctx_swt`,
+//!   `cs_threshold`, `ssd_cache_size_byte`, `host_dram_size_byte`,
+//!   `t_policy`, …).
+//! * [`stats`] — latency histograms and counters used to build the paper's
+//!   figures (latency distributions, AMAT breakdowns, boundedness).
+//!
+//! # Example
+//!
+//! ```
+//! use skybyte_types::prelude::*;
+//!
+//! let cfg = SimConfig::default();
+//! assert_eq!(cfg.ssd.flash.read_latency, Nanos::from_micros(3));
+//! assert_eq!(cfg.ssd.geometry.total_bytes(), 128 * (1 << 30));
+//!
+//! let va = VirtAddr::new(0x1234_5678);
+//! assert_eq!(va.page().index(), 0x1234_5678 / PAGE_SIZE as u64);
+//! assert_eq!(va.cacheline_in_page(), (0x5678 % 4096) / 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod stats;
+pub mod time;
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use crate::access::{AccessKind, MemAccess, MemTarget};
+    pub use crate::addr::{
+        CachelineIndex, Lpa, PageNumber, PhysAddr, Ppa, VirtAddr, CACHELINES_PER_PAGE,
+        CACHELINE_SIZE, PAGE_SIZE,
+    };
+    pub use crate::config::{
+        CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
+        MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,
+        SsdDramConfig, SsdGeometry, VariantKind,
+    };
+    pub use crate::error::ConfigError;
+    pub use crate::stats::{Counter, LatencyHistogram, RatioBreakdown};
+    pub use crate::time::{Freq, Nanos};
+}
+
+pub use access::{AccessKind, MemAccess, MemTarget};
+pub use addr::{
+    CachelineIndex, Lpa, PageNumber, PhysAddr, Ppa, VirtAddr, CACHELINES_PER_PAGE, CACHELINE_SIZE,
+    PAGE_SIZE,
+};
+pub use config::{
+    CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
+    MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,
+    SsdDramConfig, SsdGeometry, VariantKind, GIB, KIB, MIB,
+};
+pub use error::ConfigError;
+pub use stats::{Counter, LatencyHistogram, RatioBreakdown};
+pub use time::{Freq, Nanos};

@@ -1,0 +1,372 @@
+//! Statistics primitives used to build the paper's figures.
+//!
+//! * [`Counter`] — a named monotonically increasing event counter.
+//! * [`LatencyHistogram`] — log-scale latency histogram, used for the latency
+//!   distribution plots (Figure 3) and average/percentile reporting.
+//! * [`RatioBreakdown`] — a named set of parts reported as fractions of the
+//!   total (used for boundedness, AMAT and request breakdowns).
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A simple monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use skybyte_types::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A latency histogram with logarithmic buckets (powers of two nanoseconds).
+///
+/// Collects every completed memory access latency and answers the statistics
+/// needed by Figures 3 and 17: mean, percentiles, and a CDF over the buckets.
+///
+/// # Example
+///
+/// ```
+/// use skybyte_types::{LatencyHistogram, Nanos};
+/// let mut h = LatencyHistogram::new();
+/// for v in [100, 200, 3_000_000] {
+///     h.record(Nanos::new(v));
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert!(h.mean() > Nanos::new(200));
+/// assert!(h.percentile(0.5) <= Nanos::new(512));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// bucket i counts samples with latency in [2^i, 2^(i+1)) ns.
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Nanos) {
+        let ns = latency.as_nanos();
+        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; 64];
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency over all samples ([`Nanos::ZERO`] if empty).
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::new((self.total_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> Nanos {
+        Nanos::new(self.max_ns)
+    }
+
+    /// Smallest recorded latency ([`Nanos::ZERO`] if empty).
+    pub fn min(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::new(self.min_ns)
+        }
+    }
+
+    /// Sum of all recorded latencies.
+    pub fn total(&self) -> Nanos {
+        Nanos::new(self.total_ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Approximate latency at the given quantile `q` in `[0, 1]`, using the
+    /// upper edge of the histogram bucket containing that quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Nanos {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Nanos::new(1u64 << (i + 1).min(63));
+            }
+        }
+        Nanos::new(self.max_ns)
+    }
+
+    /// Returns `(bucket_upper_bound_ns, cumulative_fraction)` pairs describing
+    /// the CDF of the distribution — the data series plotted in Figure 3.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            out.push(((1u64 << (i + 1).min(63)), seen as f64 / self.count as f64));
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; 64];
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[i] += n;
+            }
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+        }
+    }
+}
+
+/// A named breakdown of a quantity into parts, reported as fractions.
+///
+/// Used for the memory/compute boundedness of Figure 4, the request breakdown
+/// of Figure 16 and the AMAT component breakdown of Figure 17.
+///
+/// # Example
+///
+/// ```
+/// use skybyte_types::RatioBreakdown;
+/// let mut b = RatioBreakdown::new();
+/// b.add("memory", 750.0);
+/// b.add("compute", 250.0);
+/// assert!((b.fraction("memory") - 0.75).abs() < 1e-9);
+/// assert_eq!(b.total(), 1000.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RatioBreakdown {
+    parts: BTreeMap<String, f64>,
+}
+
+impl RatioBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` to the named part (creating it if needed).
+    pub fn add(&mut self, part: &str, value: f64) {
+        *self.parts.entry(part.to_string()).or_insert(0.0) += value;
+    }
+
+    /// Absolute value of a part (0 if absent).
+    pub fn value(&self, part: &str) -> f64 {
+        self.parts.get(part).copied().unwrap_or(0.0)
+    }
+
+    /// Sum over all parts.
+    pub fn total(&self) -> f64 {
+        self.parts.values().sum()
+    }
+
+    /// Fraction of the total contributed by a part (0 if the total is 0).
+    pub fn fraction(&self, part: &str) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.value(part) / total
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.parts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Names of all parts.
+    pub fn parts(&self) -> impl Iterator<Item = &str> {
+        self.parts.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos::new(100));
+        h.record(Nanos::new(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Nanos::new(200));
+        assert_eq!(h.min(), Nanos::new(100));
+        assert_eq!(h.max(), Nanos::new(300));
+        assert_eq!(h.total(), Nanos::new(400));
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.min(), Nanos::ZERO);
+        assert_eq!(h.percentile(0.99), Nanos::ZERO);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Nanos::new(i * 17 % 100_000 + 1));
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn histogram_cdf_reaches_one() {
+        let mut h = LatencyHistogram::new();
+        for v in [50u64, 100, 5_000, 3_000_000] {
+            h.record(Nanos::new(v));
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let last = cdf.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9);
+        // monotonically nondecreasing
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Nanos::new(10));
+        b.record(Nanos::new(1_000));
+        b.record(Nanos::new(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Nanos::new(10));
+        assert_eq!(a.max(), Nanos::new(1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn histogram_rejects_bad_quantile() {
+        let h = LatencyHistogram::new();
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn breakdown_fractions() {
+        let mut b = RatioBreakdown::new();
+        b.add("flash", 900.0);
+        b.add("dram", 100.0);
+        b.add("flash", 100.0);
+        assert_eq!(b.total(), 1100.0);
+        assert!((b.fraction("flash") - 1000.0 / 1100.0).abs() < 1e-12);
+        assert_eq!(b.value("missing"), 0.0);
+        assert_eq!(b.fraction("missing"), 0.0);
+        let parts: Vec<_> = b.parts().collect();
+        assert_eq!(parts, vec!["dram", "flash"]);
+        let total_from_iter: f64 = b.iter().map(|(_, v)| v).sum();
+        assert_eq!(total_from_iter, b.total());
+    }
+
+    #[test]
+    fn breakdown_empty_total_is_zero() {
+        let b = RatioBreakdown::new();
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.fraction("x"), 0.0);
+    }
+}

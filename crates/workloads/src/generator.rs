@@ -1,0 +1,348 @@
+//! The per-thread trace generator.
+//!
+//! A trace is a stream of [`WorkUnit`]s: a burst of non-stalled instructions
+//! followed by one off-chip memory access. The burst length is derived from
+//! the workload's LLC MPKI (Table I), the read/write mix from its write
+//! ratio, and the address from its access-pattern model (hot-set Zipf plus a
+//! per-pattern cold component). Every thread of a workload shares the hot
+//! set (graph vertices, database rows, embedding rows are shared) and owns a
+//! private partition of the cold region, as in the original multi-threaded
+//! benchmarks.
+
+use crate::spec::{AccessPattern, WorkloadSpec};
+use crate::zipf::Zipf;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use skybyte_types::{AccessKind, MemAccess, VirtAddr, CACHELINES_PER_PAGE, PAGE_SIZE};
+
+/// One unit of work: compute, then a single off-chip memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkUnit {
+    /// Number of non-stalled instructions executed before the access.
+    pub instructions: u64,
+    /// The off-chip (post-LLC) memory access.
+    pub access: MemAccess,
+}
+
+/// Deterministic, seedable generator of one thread's trace.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    rng: ChaCha12Rng,
+    hot_pages: u64,
+    hot_zipf: Zipf,
+    /// Private cold partition of this thread: [cold_start, cold_start + cold_len).
+    cold_start: u64,
+    cold_len: u64,
+    /// Streaming cursor within the cold partition.
+    cursor_page: u64,
+    /// Cachelines still to touch on the cursor page before advancing.
+    cursor_remaining: u32,
+    units_generated: u64,
+}
+
+impl TraceGenerator {
+    /// Creates the generator for `thread` of `threads` total, with a
+    /// deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `thread >= threads`.
+    pub fn new(spec: &WorkloadSpec, thread: u32, threads: u32, seed: u64) -> Self {
+        assert!(threads > 0, "at least one thread required");
+        assert!(thread < threads, "thread index out of range");
+        let total_pages = spec.footprint_pages();
+        let hot_pages = ((total_pages as f64 * spec.hot_page_fraction) as u64).max(1);
+        let cold_pages = total_pages.saturating_sub(hot_pages).max(1);
+        let per_thread = (cold_pages / threads as u64).max(1);
+        let cold_start = hot_pages + per_thread * thread as u64;
+        // The Zipf table is capped to keep setup cheap for huge hot sets; the
+        // cap is far above the scaled experiment sizes.
+        let zipf_n = hot_pages.min(1 << 20);
+        let mut rng = ChaCha12Rng::seed_from_u64(
+            seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let coverage_cls = Self::coverage_cachelines(spec);
+        let cursor_page = cold_start + rng.gen_range(0..per_thread);
+        TraceGenerator {
+            spec: *spec,
+            rng,
+            hot_pages,
+            hot_zipf: Zipf::new(zipf_n, spec.zipf_exponent.max(0.0)),
+            cold_start,
+            cold_len: per_thread,
+            cursor_page,
+            cursor_remaining: coverage_cls,
+            units_generated: 0,
+        }
+    }
+
+    fn coverage_cachelines(spec: &WorkloadSpec) -> u32 {
+        ((CACHELINES_PER_PAGE as f64 * spec.page_cacheline_coverage).round() as u32)
+            .clamp(1, CACHELINES_PER_PAGE as u32)
+    }
+
+    /// The workload spec driving this generator.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of work units generated so far.
+    pub fn units_generated(&self) -> u64 {
+        self.units_generated
+    }
+
+    /// Produces the next work unit.
+    pub fn next_unit(&mut self) -> WorkUnit {
+        self.units_generated += 1;
+        let base = self.spec.instructions_per_miss();
+        // ±50 % jitter around the MPKI-derived mean keeps bursts irregular
+        // while preserving the average.
+        let instructions = if base <= 1 {
+            1
+        } else {
+            self.rng.gen_range(base / 2..=base + base / 2)
+        };
+        let is_write = self.rng.gen_bool(self.spec.write_ratio.clamp(0.0, 1.0));
+        let (page, cl) = self.pick_location(is_write);
+        let addr = VirtAddr::new(page * PAGE_SIZE as u64 + cl as u64 * 64);
+        WorkUnit {
+            instructions,
+            access: MemAccess::new(
+                addr,
+                if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            ),
+        }
+    }
+
+    /// Generates `n` work units into a vector.
+    pub fn generate(&mut self, n: usize) -> Vec<WorkUnit> {
+        (0..n).map(|_| self.next_unit()).collect()
+    }
+
+    fn pick_location(&mut self, is_write: bool) -> (u64, u8) {
+        let hot = self.rng.gen_bool(self.spec.hot_access_fraction.clamp(0.0, 1.0));
+        let page = if hot {
+            self.pick_hot_page()
+        } else {
+            self.pick_cold_page(is_write)
+        };
+        let cl = self.pick_cacheline(page, is_write);
+        (page, cl)
+    }
+
+    fn pick_hot_page(&mut self) -> u64 {
+        let rank = self.hot_zipf.sample(&mut self.rng);
+        // Spread ranks over the hot region if it is larger than the table.
+        if self.hot_pages > self.hot_zipf.n() {
+            rank * (self.hot_pages / self.hot_zipf.n()).max(1)
+        } else {
+            rank
+        }
+    }
+
+    fn pick_cold_page(&mut self, is_write: bool) -> u64 {
+        match self.spec.pattern {
+            AccessPattern::StreamingSort | AccessPattern::StridedStencil => {
+                if self.cursor_remaining == 0 {
+                    let stride = self.spec.sequential_run_pages.max(1) as u64;
+                    let step = if self.spec.pattern == AccessPattern::StridedStencil {
+                        stride
+                    } else {
+                        1
+                    };
+                    self.cursor_page = self.cold_start
+                        + (self.cursor_page - self.cold_start + step) % self.cold_len;
+                    self.cursor_remaining = Self::coverage_cachelines(&self.spec);
+                }
+                self.cursor_remaining -= 1;
+                self.cursor_page
+            }
+            AccessPattern::EmbeddingGather if is_write => {
+                // Gradient/output region: a small dense area at the start of
+                // the thread's partition.
+                let dense = (self.cold_len / 64).max(1);
+                self.cold_start + self.rng.gen_range(0..dense)
+            }
+            _ => self.cold_start + self.rng.gen_range(0..self.cold_len),
+        }
+    }
+
+    fn pick_cacheline(&mut self, page: u64, _is_write: bool) -> u8 {
+        let coverage = Self::coverage_cachelines(&self.spec);
+        // Each page exposes only `coverage` cachelines, starting at a
+        // page-dependent offset, so the per-page coverage CDF of Figures 5–6
+        // is reproduced by construction.
+        let offset = (page.wrapping_mul(0x9E37_79B9) % CACHELINES_PER_PAGE as u64) as u32;
+        let pick = self.rng.gen_range(0..coverage);
+        ((offset + pick) % CACHELINES_PER_PAGE as u32) as u8
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = WorkUnit;
+
+    fn next(&mut self) -> Option<WorkUnit> {
+        Some(self.next_unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadKind;
+    use std::collections::HashSet;
+
+    fn scaled(kind: WorkloadKind) -> WorkloadSpec {
+        kind.spec().scaled_to(32 << 20) // 32 MiB
+    }
+
+    #[test]
+    fn addresses_stay_inside_footprint() {
+        for kind in WorkloadKind::ALL {
+            let spec = scaled(kind);
+            let mut g = TraceGenerator::new(&spec, 0, 4, 1);
+            for _ in 0..2_000 {
+                let u = g.next_unit();
+                assert!(
+                    u.access.addr.as_u64() < spec.footprint_bytes,
+                    "{kind}: address out of range"
+                );
+                assert!(u.instructions >= 1);
+            }
+            assert_eq!(g.units_generated(), 2_000);
+        }
+    }
+
+    #[test]
+    fn write_ratio_matches_table1() {
+        for kind in WorkloadKind::ALL {
+            let spec = scaled(kind);
+            let mut g = TraceGenerator::new(&spec, 0, 4, 7);
+            let n = 20_000;
+            let writes = g
+                .generate(n)
+                .iter()
+                .filter(|u| u.access.kind.is_write())
+                .count();
+            let measured = writes as f64 / n as f64;
+            assert!(
+                (measured - spec.write_ratio).abs() < 0.02,
+                "{kind}: measured write ratio {measured} vs spec {}",
+                spec.write_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn mean_instructions_match_mpki() {
+        for kind in [WorkloadKind::BfsDense, WorkloadKind::Tpcc, WorkloadKind::Bc] {
+            let spec = scaled(kind);
+            let mut g = TraceGenerator::new(&spec, 0, 4, 3);
+            let n = 20_000usize;
+            let total: u64 = g.generate(n).iter().map(|u| u.instructions).sum();
+            let mean = total as f64 / n as f64;
+            let expected = spec.instructions_per_miss() as f64;
+            assert!(
+                (mean - expected).abs() / expected < 0.1,
+                "{kind}: mean burst {mean} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed_and_thread() {
+        let spec = scaled(WorkloadKind::Ycsb);
+        let run = |thread, seed| {
+            let mut g = TraceGenerator::new(&spec, thread, 4, seed);
+            g.generate(100)
+        };
+        assert_eq!(run(0, 9), run(0, 9));
+        assert_ne!(run(0, 9), run(1, 9));
+        assert_ne!(run(0, 9), run(0, 10));
+    }
+
+    #[test]
+    fn hot_set_is_shared_cold_sets_are_private() {
+        let spec = scaled(WorkloadKind::Bc);
+        let hot_pages = ((spec.footprint_pages() as f64 * spec.hot_page_fraction) as u64).max(1);
+        let pages_of = |thread| {
+            let mut g = TraceGenerator::new(&spec, thread, 4, 5);
+            g.generate(5_000)
+                .iter()
+                .map(|u| u.access.addr.page().index())
+                .collect::<HashSet<_>>()
+        };
+        let a = pages_of(0);
+        let b = pages_of(1);
+        let shared: Vec<_> = a.intersection(&b).collect();
+        // The shared pages must all be in the hot region.
+        assert!(!shared.is_empty());
+        assert!(shared.iter().all(|p| **p < hot_pages));
+        // Cold pages of thread 0 are disjoint from thread 1's cold pages.
+        let cold_a: HashSet<_> = a.iter().filter(|p| **p >= hot_pages).collect();
+        let cold_b: HashSet<_> = b.iter().filter(|p| **p >= hot_pages).collect();
+        assert!(cold_a.is_disjoint(&cold_b));
+    }
+
+    #[test]
+    fn page_coverage_is_sparse_for_graph_workloads() {
+        let spec = scaled(WorkloadKind::Bc);
+        let mut g = TraceGenerator::new(&spec, 0, 1, 11);
+        let mut per_page: std::collections::HashMap<u64, HashSet<u8>> = Default::default();
+        for u in g.generate(50_000) {
+            per_page
+                .entry(u.access.addr.page().index())
+                .or_default()
+                .insert(u.access.addr.cacheline_in_page() as u8);
+        }
+        // Most pages must expose well under 40 % of their 64 cachelines.
+        let sparse = per_page
+            .values()
+            .filter(|s| (s.len() as f64) < 0.4 * 64.0)
+            .count();
+        assert!(
+            sparse as f64 > 0.75 * per_page.len() as f64,
+            "only {sparse}/{} pages are sparse",
+            per_page.len()
+        );
+    }
+
+    #[test]
+    fn streaming_workload_has_sequential_runs() {
+        let spec = scaled(WorkloadKind::Radix);
+        let mut g = TraceGenerator::new(&spec, 0, 1, 13);
+        let pages: Vec<u64> = g
+            .generate(10_000)
+            .iter()
+            .filter(|u| u.access.addr.page().index() >= 1000) // skip hot set
+            .map(|u| u.access.addr.page().index())
+            .collect();
+        // Consecutive cold accesses frequently land on the same or the next
+        // page (spatial locality).
+        let mut local = 0usize;
+        for w in pages.windows(2) {
+            if w[1] == w[0] || w[1] == w[0] + 1 {
+                local += 1;
+            }
+        }
+        assert!(
+            local as f64 > 0.5 * (pages.len() - 1) as f64,
+            "streaming pattern lost: {local}/{}",
+            pages.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_thread_index() {
+        let spec = scaled(WorkloadKind::Bc);
+        let _ = TraceGenerator::new(&spec, 4, 4, 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Workload specifications (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+use skybyte_types::PAGE_SIZE;
+use std::fmt;
+
+/// The seven benchmarks of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Betweenness centrality (GAP benchmark suite) — graph processing.
+    Bc,
+    /// Breadth-first search on a dense graph (Rodinia) — graph processing.
+    BfsDense,
+    /// Deep-learning recommendation model inference/training (Meta DLRM).
+    Dlrm,
+    /// Radix sort (Splash-3) — HPC.
+    Radix,
+    /// Speckle-reducing anisotropic diffusion (Rodinia) — image processing.
+    Srad,
+    /// TPC-C on the N-Store in-memory database (WHISPER).
+    Tpcc,
+    /// YCSB workload B on N-Store (WHISPER).
+    Ycsb,
+}
+
+impl WorkloadKind {
+    /// All workloads in the order used by the paper's figures.
+    pub const ALL: [WorkloadKind; 7] = [
+        WorkloadKind::Bc,
+        WorkloadKind::BfsDense,
+        WorkloadKind::Dlrm,
+        WorkloadKind::Radix,
+        WorkloadKind::Srad,
+        WorkloadKind::Tpcc,
+        WorkloadKind::Ycsb,
+    ];
+
+    /// The paper's name for the workload.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Bc => "bc",
+            WorkloadKind::BfsDense => "bfs-dense",
+            WorkloadKind::Dlrm => "dlrm",
+            WorkloadKind::Radix => "radix",
+            WorkloadKind::Srad => "srad",
+            WorkloadKind::Tpcc => "tpcc",
+            WorkloadKind::Ycsb => "ycsb",
+        }
+    }
+
+    /// The Table I characteristics and the synthetic access-pattern model of
+    /// this workload.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            WorkloadKind::Bc => WorkloadSpec {
+                kind: self,
+                footprint_bytes: gib_f(8.18),
+                write_ratio: 0.11,
+                llc_mpki: 39.4,
+                pattern: AccessPattern::PowerLawGraph,
+                zipf_exponent: 0.9,
+                page_cacheline_coverage: 0.15,
+                hot_page_fraction: 0.10,
+                hot_access_fraction: 0.70,
+                sequential_run_pages: 1,
+            },
+            WorkloadKind::BfsDense => WorkloadSpec {
+                kind: self,
+                footprint_bytes: gib_f(9.13),
+                write_ratio: 0.25,
+                llc_mpki: 122.9,
+                pattern: AccessPattern::PowerLawGraph,
+                zipf_exponent: 0.6,
+                page_cacheline_coverage: 0.20,
+                hot_page_fraction: 0.25,
+                hot_access_fraction: 0.45,
+                sequential_run_pages: 1,
+            },
+            WorkloadKind::Dlrm => WorkloadSpec {
+                kind: self,
+                footprint_bytes: gib_f(12.35),
+                write_ratio: 0.32,
+                llc_mpki: 5.1,
+                pattern: AccessPattern::EmbeddingGather,
+                zipf_exponent: 0.8,
+                page_cacheline_coverage: 0.10,
+                hot_page_fraction: 0.05,
+                hot_access_fraction: 0.50,
+                sequential_run_pages: 2,
+            },
+            WorkloadKind::Radix => WorkloadSpec {
+                kind: self,
+                footprint_bytes: gib_f(9.60),
+                write_ratio: 0.29,
+                llc_mpki: 7.1,
+                pattern: AccessPattern::StreamingSort,
+                zipf_exponent: 0.2,
+                page_cacheline_coverage: 0.60,
+                hot_page_fraction: 0.30,
+                hot_access_fraction: 0.35,
+                sequential_run_pages: 8,
+            },
+            WorkloadKind::Srad => WorkloadSpec {
+                kind: self,
+                footprint_bytes: gib_f(8.16),
+                write_ratio: 0.24,
+                llc_mpki: 7.5,
+                pattern: AccessPattern::StridedStencil,
+                zipf_exponent: 0.1,
+                page_cacheline_coverage: 0.35,
+                hot_page_fraction: 0.20,
+                hot_access_fraction: 0.25,
+                sequential_run_pages: 4,
+            },
+            WorkloadKind::Tpcc => WorkloadSpec {
+                kind: self,
+                footprint_bytes: gib_f(15.77),
+                write_ratio: 0.36,
+                llc_mpki: 1.0,
+                pattern: AccessPattern::Transactional,
+                zipf_exponent: 1.1,
+                page_cacheline_coverage: 0.30,
+                hot_page_fraction: 0.08,
+                hot_access_fraction: 0.80,
+                sequential_run_pages: 1,
+            },
+            WorkloadKind::Ycsb => WorkloadSpec {
+                kind: self,
+                footprint_bytes: gib_f(9.61),
+                write_ratio: 0.05,
+                llc_mpki: 92.2,
+                pattern: AccessPattern::KeyValueZipf,
+                zipf_exponent: 0.99,
+                page_cacheline_coverage: 0.25,
+                hot_page_fraction: 0.10,
+                hot_access_fraction: 0.75,
+                sequential_run_pages: 1,
+            },
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn gib_f(g: f64) -> u64 {
+    (g * (1u64 << 30) as f64) as u64
+}
+
+/// The high-level shape of a workload's memory references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Power-law vertex/edge accesses (bc, bfs-dense): a Zipf-distributed hot
+    /// set of pages plus uniform scans, few cachelines touched per page.
+    PowerLawGraph,
+    /// Embedding-table gathers (dlrm): very sparse random reads over a huge
+    /// table plus a small dense write region for gradients.
+    EmbeddingGather,
+    /// Streaming permutation (radix): long sequential runs with scattered
+    /// scatter-phase writes, high per-page coverage.
+    StreamingSort,
+    /// Strided stencil sweeps (srad): regular strides across an image plane
+    /// with scattered sparse writes.
+    StridedStencil,
+    /// Transactional tables (tpcc): highly skewed row updates with good
+    /// temporal locality.
+    Transactional,
+    /// Zipfian key-value lookups (ycsb-B): read-mostly with a small hot set.
+    KeyValueZipf,
+}
+
+/// A fully parameterised workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which benchmark this spec describes.
+    pub kind: WorkloadKind,
+    /// Total memory footprint in bytes (Table I, possibly scaled).
+    pub footprint_bytes: u64,
+    /// Fraction of memory accesses that are writes (Table I).
+    pub write_ratio: f64,
+    /// LLC misses per kilo-instruction (Table I); determines the compute
+    /// between consecutive off-chip accesses.
+    pub llc_mpki: f64,
+    /// Access-pattern family used by the generator.
+    pub pattern: AccessPattern,
+    /// Zipf exponent of the page-popularity distribution.
+    pub zipf_exponent: f64,
+    /// Average fraction of a page's 64 cachelines touched while the page is
+    /// "hot" (Figures 5–6: usually below 0.4).
+    pub page_cacheline_coverage: f64,
+    /// Fraction of pages forming the hot set.
+    pub hot_page_fraction: f64,
+    /// Fraction of accesses that go to the hot set.
+    pub hot_access_fraction: f64,
+    /// Length of sequential page runs (spatial locality), in pages.
+    pub sequential_run_pages: u32,
+}
+
+impl WorkloadSpec {
+    /// The paper's name of the workload.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Number of 4 KiB pages in the footprint.
+    pub fn footprint_pages(&self) -> u64 {
+        (self.footprint_bytes / PAGE_SIZE as u64).max(1)
+    }
+
+    /// Average number of instructions between consecutive off-chip accesses
+    /// (1000 / MPKI).
+    pub fn instructions_per_miss(&self) -> u64 {
+        (1000.0 / self.llc_mpki).round().max(1.0) as u64
+    }
+
+    /// Returns a copy of the spec with the footprint scaled to
+    /// `footprint_bytes`, preserving every other characteristic. Used to run
+    /// the paper's workloads against a scaled-down simulated SSD while
+    /// keeping the footprint : SSD-DRAM ratio of the original setup.
+    pub fn scaled_to(mut self, footprint_bytes: u64) -> Self {
+        self.footprint_bytes = footprint_bytes.max(PAGE_SIZE as u64);
+        self
+    }
+}
+
+/// The rows of Table I (workload name, memory footprint, write ratio,
+/// LLC MPKI), in the paper's order.
+pub fn table1_characteristics() -> Vec<(String, u64, f64, f64)> {
+    WorkloadKind::ALL
+        .iter()
+        .map(|k| {
+            let s = k.spec();
+            (s.name().to_string(), s.footprint_bytes, s.write_ratio, s.llc_mpki)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let bc = WorkloadKind::Bc.spec();
+        assert_eq!(bc.name(), "bc");
+        assert!((bc.footprint_bytes as f64 / (1u64 << 30) as f64 - 8.18).abs() < 0.01);
+        assert!((bc.write_ratio - 0.11).abs() < 1e-9);
+        assert!((bc.llc_mpki - 39.4).abs() < 1e-9);
+
+        let tpcc = WorkloadKind::Tpcc.spec();
+        assert!((tpcc.footprint_bytes as f64 / (1u64 << 30) as f64 - 15.77).abs() < 0.01);
+        assert!((tpcc.write_ratio - 0.36).abs() < 1e-9);
+        assert_eq!(tpcc.instructions_per_miss(), 1000);
+
+        let bfs = WorkloadKind::BfsDense.spec();
+        assert!((bfs.llc_mpki - 122.9).abs() < 1e-9);
+        assert_eq!(bfs.instructions_per_miss(), 8);
+
+        let ycsb = WorkloadKind::Ycsb.spec();
+        assert!((ycsb.write_ratio - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_workloads_have_sane_parameters() {
+        for kind in WorkloadKind::ALL {
+            let s = kind.spec();
+            assert!(s.footprint_bytes > 8 << 30, "{kind}: footprint too small");
+            assert!((0.0..=1.0).contains(&s.write_ratio), "{kind}");
+            assert!(s.llc_mpki > 0.0, "{kind}");
+            assert!((0.0..=1.0).contains(&s.page_cacheline_coverage), "{kind}");
+            assert!((0.0..=1.0).contains(&s.hot_page_fraction), "{kind}");
+            assert!((0.0..=1.0).contains(&s.hot_access_fraction), "{kind}");
+            assert!(s.sequential_run_pages >= 1, "{kind}");
+            assert!(s.footprint_pages() > 1_000_000, "{kind}");
+        }
+    }
+
+    #[test]
+    fn scaled_spec_keeps_ratios() {
+        let s = WorkloadKind::Srad.spec().scaled_to(64 << 20);
+        assert_eq!(s.footprint_bytes, 64 << 20);
+        assert_eq!(s.footprint_pages(), (64 << 20) / 4096);
+        assert!((s.write_ratio - 0.24).abs() < 1e-9);
+        // Scaling never goes below one page.
+        let tiny = WorkloadKind::Srad.spec().scaled_to(1);
+        assert_eq!(tiny.footprint_pages(), 1);
+    }
+
+    #[test]
+    fn table1_has_seven_rows() {
+        let t = table1_characteristics();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[0].0, "bc");
+        assert_eq!(t[5].0, "tpcc");
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(WorkloadKind::BfsDense.to_string(), "bfs-dense");
+        assert_eq!(WorkloadKind::Dlrm.to_string(), "dlrm");
+    }
+}

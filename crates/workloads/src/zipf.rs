@@ -1,0 +1,110 @@
+//! A small, deterministic Zipf sampler.
+//!
+//! Page popularity in graph, key-value and transactional workloads follows a
+//! power law. This sampler draws ranks from a Zipf(s) distribution over
+//! `{0, 1, …, n-1}` using an inverse-CDF table, which is exact for the bucket
+//! counts we need (at most a few hundred thousand pages after scaling).
+
+use rand::Rng;
+
+/// Zipf distribution over `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a nonempty support");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let n = n as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // Binary search for the first cdf entry >= u.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.n() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn samples_are_in_range_and_skewed() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..20_000 {
+            let s = z.sample(&mut rng) as usize;
+            assert!(s < 1000);
+            counts[s] += 1;
+        }
+        // Rank 0 must be sampled far more often than rank 500.
+        assert!(counts[0] > 10 * counts[500].max(1));
+        // The head (top 10 %) should dominate.
+        let head: u64 = counts[..100].iter().sum();
+        assert!(head as f64 > 0.5 * 20_000.0);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 2.0, "uniform samples should be balanced");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let z = Zipf::new(64, 1.0);
+        let draw = |seed| {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            (0..32).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}
