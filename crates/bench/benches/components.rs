@@ -17,7 +17,10 @@ use skybyte_types::prelude::*;
 use skybyte_types::SsdGeometry;
 use std::time::Duration;
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name.to_string());
     g.sample_size(20);
     g.warm_up_time(Duration::from_millis(300));
@@ -80,8 +83,10 @@ fn bench_ftl_and_flash(c: &mut Criterion) {
     };
     g.bench_function("ftl_writes_with_gc_8k", |b| {
         b.iter(|| {
-            let mut cfg = SsdConfig::default();
-            cfg.geometry = geometry;
+            let cfg = SsdConfig {
+                geometry,
+                ..SsdConfig::default()
+            };
             let mut flash = FlashArray::new(cfg.geometry, cfg.flash);
             let mut ftl = Ftl::new(&cfg);
             let mut now = Nanos::ZERO;
@@ -144,7 +149,12 @@ fn bench_mshr_and_scheduler(c: &mut Criterion) {
                 if let Some(t) = sched.running_on(core) {
                     sched.account_runtime(t, Nanos::new(200));
                 }
-                sched.yield_current(core, now, now + Nanos::from_micros(3), BlockReason::LongSsdAccess);
+                sched.yield_current(
+                    core,
+                    now,
+                    now + Nanos::from_micros(3),
+                    BlockReason::LongSsdAccess,
+                );
                 sched.schedule_on(core, now);
                 now += Nanos::new(500);
             }

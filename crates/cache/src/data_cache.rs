@@ -308,7 +308,7 @@ mod tests {
 
     #[test]
     fn dirty_eviction_statistics() {
-        let mut c = DataCache::new(1 * 4096, 1);
+        let mut c = DataCache::new(4096, 1);
         c.insert(Lpa::new(1));
         c.mark_dirty(Lpa::new(1), 0);
         c.mark_dirty(Lpa::new(1), 1);

@@ -95,7 +95,10 @@ impl LogIndex {
     /// replacing any previous record for the same cacheline.
     pub fn insert(&mut self, lpa: Lpa, cl: CachelineIndex, log_offset: u32) {
         debug_assert!((cl as usize) < CACHELINES_PER_PAGE);
-        let table = self.first_level.entry(lpa).or_insert_with(SecondLevelTable::new);
+        let table = self
+            .first_level
+            .entry(lpa)
+            .or_insert_with(SecondLevelTable::new);
         let before = table.allocated_slots;
         table.insert(cl, log_offset, self.load_factor);
         if table.allocated_slots > before {
@@ -105,7 +108,10 @@ impl LogIndex {
 
     /// Log offset of the latest copy of `(lpa, cl)`, if logged.
     pub fn lookup(&self, lpa: Lpa, cl: CachelineIndex) -> Option<u32> {
-        self.first_level.get(&lpa).and_then(|t| t.entries.get(&cl)).copied()
+        self.first_level
+            .get(&lpa)
+            .and_then(|t| t.entries.get(&cl))
+            .copied()
     }
 
     /// Whether any cacheline of `lpa` is logged.

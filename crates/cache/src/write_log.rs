@@ -81,7 +81,9 @@ pub struct PageFlush {
 impl PageFlush {
     /// Bitmap of dirty cachelines in this page.
     pub fn dirty_bitmap(&self) -> u64 {
-        self.cachelines.iter().fold(0u64, |m, (c, _)| m | (1u64 << c))
+        self.cachelines
+            .iter()
+            .fold(0u64, |m, (c, _)| m | (1u64 << c))
     }
 }
 
@@ -479,7 +481,7 @@ mod tests {
         log.append(Lpa::new(1), 1, 1);
         assert!(log.utilisation() > 0.0);
         assert!(log.index_memory_bytes() >= 32);
-        assert!(log.is_empty() == false && log.len() == 1);
+        assert!(!log.is_empty() && log.len() == 1);
     }
 
     #[test]

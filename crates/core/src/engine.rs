@@ -111,8 +111,8 @@ impl Simulation {
         // Precondition the SSD so garbage collection can trigger (§VI-A).
         if !cfg.infinite_host_dram {
             let footprint_pages = spec.footprint_pages();
-            let precondition_pages = ((footprint_pages as f64
-                * self.scale.precondition_fraction) as u64)
+            let precondition_pages = ((footprint_pages as f64 * self.scale.precondition_fraction)
+                as u64)
                 .min(ssd.logical_pages());
             ssd.precondition((0..precondition_pages).map(Lpa::new));
         }

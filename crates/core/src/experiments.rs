@@ -107,8 +107,10 @@ pub fn fig03_latency_distribution(scale: &ExperimentScale) -> ExperimentTable {
         &["p50", "p90", "p99", "max"],
     );
     for w in REPRESENTATIVE_WORKLOADS {
-        for (label, variant) in [("dram", VariantKind::DramOnly), ("cssd", VariantKind::BaseCssd)]
-        {
+        for (label, variant) in [
+            ("dram", VariantKind::DramOnly),
+            ("cssd", VariantKind::BaseCssd),
+        ] {
             let r = run(variant, w, scale);
             let h = &r.latency_hist;
             t.push(
@@ -159,7 +161,12 @@ pub fn fig05_06_locality_cdf(scale: &ExperimentScale, write: bool) -> Experiment
     let mut t = ExperimentTable::new(
         id,
         title,
-        &["pages_le_25pct", "pages_le_40pct", "pages_le_75pct", "mean_coverage"],
+        &[
+            "pages_le_25pct",
+            "pages_le_40pct",
+            "pages_le_75pct",
+            "mean_coverage",
+        ],
     );
     for w in [
         WorkloadKind::Bc,
@@ -235,7 +242,11 @@ pub fn fig10_sched_policies(scale: &ExperimentScale) -> ExperimentTable {
     ] {
         let mut times = Vec::new();
         let mut cfs_cs_fraction = 0.0;
-        for policy in [SchedPolicy::RoundRobin, SchedPolicy::Random, SchedPolicy::Cfs] {
+        for policy in [
+            SchedPolicy::RoundRobin,
+            SchedPolicy::Random,
+            SchedPolicy::Cfs,
+        ] {
             let mut cfg = scale.apply(SimConfig::default().with_variant(VariantKind::SkyByteFull));
             cfg.sched_policy = policy;
             let r = Simulation::with_config(cfg, w, scale).run();
@@ -631,7 +642,10 @@ pub fn table2_parameters() -> ExperimentTable {
     let mut t = ExperimentTable::new("table-2", "Simulator parameters (defaults)", &["value"]);
     t.push("cpu.cores", vec![cfg.cpu.cores as f64]);
     t.push("cpu.rob_entries", vec![cfg.cpu.rob_entries as f64]);
-    t.push("llc.size_mib", vec![cfg.cpu.llc.size_bytes as f64 / MIB as f64]);
+    t.push(
+        "llc.size_mib",
+        vec![cfg.cpu.llc.size_bytes as f64 / MIB as f64],
+    );
     t.push("llc.mshrs", vec![cfg.cpu.llc.mshrs as f64]);
     t.push(
         "ssd.capacity_gib",

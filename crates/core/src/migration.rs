@@ -149,12 +149,7 @@ impl MigrationEngine {
         &self.stats
     }
 
-    fn promote_one(
-        &mut self,
-        lpa: Lpa,
-        now: Nanos,
-        ctx: &mut MigrationContext<'_>,
-    ) -> Option<Lpa> {
+    fn promote_one(&mut self, lpa: Lpa, now: Nanos, ctx: &mut MigrationContext<'_>) -> Option<Lpa> {
         if self.pool.contains(lpa) {
             return None;
         }

@@ -64,7 +64,7 @@ impl ExperimentScale {
                 page_size_bytes: 4096,
             },
             precondition_fraction: 0.9,
-            seed: 0x5B_5B_2025,
+            seed: 0x5B5B_2025,
         }
     }
 
@@ -86,7 +86,7 @@ impl ExperimentScale {
                 page_size_bytes: 4096,
             },
             precondition_fraction: 0.9,
-            seed: 0x5B_5B_2025,
+            seed: 0x5B5B_2025,
         }
     }
 
@@ -193,7 +193,8 @@ mod tests {
     #[test]
     fn apply_overrides_config_sizes() {
         let s = ExperimentScale::tiny();
-        let cfg = s.apply(skybyte_types::SimConfig::default().with_variant(VariantKind::SkyByteFull));
+        let cfg =
+            s.apply(skybyte_types::SimConfig::default().with_variant(VariantKind::SkyByteFull));
         assert_eq!(cfg.ssd.geometry.channels, 4);
         assert_eq!(cfg.ssd.dram.write_log_bytes, 64 * KIB);
         assert_eq!(cfg.host_dram.promotion_capacity_bytes, 2 * MIB);

@@ -198,8 +198,7 @@ mod tests {
             context_switch: Nanos::new(50),
             idle: Nanos::new(123),
         };
-        let total =
-            b.memory_fraction() + b.compute_fraction() + b.context_switch_fraction();
+        let total = b.memory_fraction() + b.compute_fraction() + b.context_switch_fraction();
         assert!((total - 1.0).abs() < 1e-9);
         assert_eq!(b.total(), Nanos::new(1123));
         let breakdown = b.to_breakdown();

@@ -49,8 +49,9 @@ impl HostDram {
     pub fn transfer(&mut self, now: Nanos, bytes: u64) -> Nanos {
         self.stats.accesses += 1;
         self.stats.bytes += bytes;
-        let serialisation_ns =
-            ((bytes as f64) * 1e9 / self.bandwidth_bps as f64).ceil().max(1.0) as u64;
+        let serialisation_ns = ((bytes as f64) * 1e9 / self.bandwidth_bps as f64)
+            .ceil()
+            .max(1.0) as u64;
         let serialisation = Nanos::new(serialisation_ns);
         let start = now.max(self.busy_until.saturating_sub(self.access_latency));
         self.busy_until = start + serialisation + self.access_latency;

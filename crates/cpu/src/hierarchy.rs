@@ -221,8 +221,10 @@ mod tests {
     use skybyte_cache::MshrOutcome;
 
     fn small_cpu() -> CpuConfig {
-        let mut cfg = CpuConfig::default();
-        cfg.cores = 2;
+        let mut cfg = CpuConfig {
+            cores: 2,
+            ..CpuConfig::default()
+        };
         cfg.l1d.size_bytes = 4 * 64; // 4 lines
         cfg.l1d.ways = 2;
         cfg.l2.size_bytes = 8 * 64;

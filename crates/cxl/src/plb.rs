@@ -211,7 +211,10 @@ impl HugePagePlb {
     ///
     /// Panics if another chunk is still in flight or `chunk` is out of range.
     pub fn begin_chunk(&mut self, chunk: u16) {
-        assert!((chunk as usize) < CHUNKS_PER_HUGE_PAGE, "chunk out of range");
+        assert!(
+            (chunk as usize) < CHUNKS_PER_HUGE_PAGE,
+            "chunk out of range"
+        );
         assert!(self.current_chunk.is_none(), "a chunk is already migrating");
         self.current_chunk = Some(chunk);
         self.current_chunk_bitmap = 0;

@@ -150,7 +150,7 @@ impl TagAllocator {
             self.outstanding += 1;
             return Some(t);
         }
-        if self.outstanding >= u32::from(u16::MAX) + 1 {
+        if self.outstanding > u32::from(u16::MAX) {
             return None;
         }
         let t = self.next;

@@ -27,11 +27,16 @@ impl FlashArray {
     ///
     /// Panics if the geometry has zero channels.
     pub fn new(geometry: SsdGeometry, timing: FlashTimingConfig) -> Self {
-        assert!(geometry.channels > 0, "flash array needs at least 1 channel");
+        assert!(
+            geometry.channels > 0,
+            "flash array needs at least 1 channel"
+        );
         FlashArray {
             geometry,
             timing,
-            channels: (0..geometry.channels).map(|_| ChannelQueue::new()).collect(),
+            channels: (0..geometry.channels)
+                .map(|_| ChannelQueue::new())
+                .collect(),
             stats: FlashStats::default(),
         }
     }
@@ -98,7 +103,8 @@ impl FlashArray {
     /// Estimated latency of a new read issued to the channel of `ppa`,
     /// per Algorithm 1 lines 5–6.
     pub fn estimate_read_latency(&self, ppa: Ppa) -> Nanos {
-        self.channel_counters(ppa).estimate_read_latency(&self.timing)
+        self.channel_counters(ppa)
+            .estimate_read_latency(&self.timing)
     }
 
     /// The channel with the shortest backlog at time `now`; used by log
@@ -195,13 +201,21 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut arr = small_array();
-        arr.submit(FlashCommandKind::Read, Ppa::new(0, 0, 0, 0, 0, 0), Nanos::ZERO);
+        arr.submit(
+            FlashCommandKind::Read,
+            Ppa::new(0, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
         arr.submit(
             FlashCommandKind::Program,
             Ppa::new(1, 0, 0, 0, 0, 0),
             Nanos::ZERO,
         );
-        arr.submit(FlashCommandKind::Erase, Ppa::new(2, 0, 0, 0, 0, 0), Nanos::ZERO);
+        arr.submit(
+            FlashCommandKind::Erase,
+            Ppa::new(2, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
         let s = arr.stats();
         assert_eq!(s.pages_read, 1);
         assert_eq!(s.pages_programmed, 1);
@@ -232,8 +246,16 @@ mod tests {
     #[test]
     fn least_busy_channel_prefers_idle() {
         let mut arr = small_array();
-        arr.submit(FlashCommandKind::Erase, Ppa::new(0, 0, 0, 0, 0, 0), Nanos::ZERO);
-        arr.submit(FlashCommandKind::Program, Ppa::new(1, 0, 0, 0, 0, 0), Nanos::ZERO);
+        arr.submit(
+            FlashCommandKind::Erase,
+            Ppa::new(0, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
+        arr.submit(
+            FlashCommandKind::Program,
+            Ppa::new(1, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
         let ch = arr.least_busy_channel();
         assert!(ch == 2 || ch == 3, "expected an idle channel, got {ch}");
     }
@@ -242,7 +264,11 @@ mod tests {
     fn idle_tracking() {
         let mut arr = small_array();
         assert!(arr.is_idle());
-        arr.submit(FlashCommandKind::Read, Ppa::new(0, 0, 0, 0, 0, 0), Nanos::ZERO);
+        arr.submit(
+            FlashCommandKind::Read,
+            Ppa::new(0, 0, 0, 0, 0, 0),
+            Nanos::ZERO,
+        );
         assert!(!arr.is_idle());
         assert_eq!(arr.all_idle_at(), Nanos::from_micros(3));
         arr.retire_completed(Nanos::from_micros(3));

@@ -381,7 +381,11 @@ mod tests {
             let (ppa, blk) = mgr.allocate_page(Lpa::new(i)).unwrap();
             by_block.entry(blk).or_default().push((Lpa::new(i), ppa));
         }
-        let (blk, pages) = by_block.iter().next().map(|(b, p)| (*b, p.clone())).unwrap();
+        let (blk, pages) = by_block
+            .iter()
+            .next()
+            .map(|(b, p)| (*b, p.clone()))
+            .unwrap();
         mgr.invalidate(pages[0].1);
         let live = mgr.live_contents(blk);
         assert_eq!(live.len(), pages.len() - 1);

@@ -178,8 +178,8 @@ impl Ftl {
         // (80 % in Table II) or the free-block reserve (one block per channel,
         // needed so relocation always has somewhere to write) runs low.
         let reserve = self.blocks.total_blocks().min(self.channels + 1);
-        let needs_gc = self.blocks.utilisation() > self.gc_threshold
-            || self.blocks.free_blocks() < reserve;
+        let needs_gc =
+            self.blocks.utilisation() > self.gc_threshold || self.blocks.free_blocks() < reserve;
         if !needs_gc {
             return None;
         }
@@ -273,18 +273,19 @@ mod tests {
     /// A tiny SSD (2 channels × 8 blocks × 8 pages = 128 pages, 512 KiB) so
     /// GC triggers quickly in tests.
     fn tiny_cfg() -> SsdConfig {
-        let mut cfg = SsdConfig::default();
-        cfg.geometry = SsdGeometry {
-            channels: 2,
-            chips_per_channel: 1,
-            dies_per_chip: 1,
-            planes_per_die: 1,
-            blocks_per_plane: 8,
-            pages_per_block: 8,
-            page_size_bytes: 4096,
-        };
-        cfg.gc_blocks_per_campaign = 19660;
-        cfg
+        SsdConfig {
+            geometry: SsdGeometry {
+                channels: 2,
+                chips_per_channel: 1,
+                dies_per_chip: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 8,
+                pages_per_block: 8,
+                page_size_bytes: 4096,
+            },
+            gc_blocks_per_campaign: 19660,
+            ..SsdConfig::default()
+        }
     }
 
     fn setup() -> (Ftl, FlashArray) {
@@ -296,7 +297,9 @@ mod tests {
     #[test]
     fn write_then_read_round_trip() {
         let (mut ftl, mut flash) = setup();
-        assert!(ftl.read_page(Lpa::new(3), Nanos::ZERO, &mut flash).is_none());
+        assert!(ftl
+            .read_page(Lpa::new(3), Nanos::ZERO, &mut flash)
+            .is_none());
         let out = ftl.write_page(Lpa::new(3), Nanos::ZERO, &mut flash);
         assert!(out.completes_at >= Nanos::from_micros(100));
         assert_eq!(ftl.translate(Lpa::new(3)), Some(out.ppa));

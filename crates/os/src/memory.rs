@@ -90,14 +90,11 @@ impl HostMemoryPool {
                 None => PoolDecision::NeedsEviction(lpa),
             };
         }
-        let frame = self
-            .free_frames
-            .pop()
-            .unwrap_or_else(|| {
-                let f = PageNumber(self.next_frame);
-                self.next_frame += 1;
-                f
-            });
+        let frame = self.free_frames.pop().unwrap_or_else(|| {
+            let f = PageNumber(self.next_frame);
+            self.next_frame += 1;
+            f
+        });
         self.resident.insert(lpa, frame);
         self.inactive.push_back(lpa);
         self.promotions += 1;

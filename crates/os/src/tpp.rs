@@ -44,7 +44,7 @@ impl TppSampler {
     pub fn record_access(&mut self, lpa: Lpa, now: Nanos) {
         self.roll_window(now);
         // Deterministic 1-in-8 sampling keyed by page and window count.
-        if (lpa.index().wrapping_add(self.windows)) % 8 == 0 {
+        if (lpa.index().wrapping_add(self.windows)).is_multiple_of(8) {
             *self.window_counts.entry(lpa).or_insert(0) += 1;
         }
     }
@@ -60,8 +60,11 @@ impl TppSampler {
                 .filter(|(_, c)| *c >= 2)
                 .collect();
             hot.sort_unstable_by_key(|(lpa, c)| (std::cmp::Reverse(*c), lpa.index()));
-            self.candidates
-                .extend(hot.into_iter().take(self.promotions_per_period as usize).map(|(l, _)| l));
+            self.candidates.extend(
+                hot.into_iter()
+                    .take(self.promotions_per_period as usize)
+                    .map(|(l, _)| l),
+            );
             self.window_start += self.period;
             self.windows += 1;
         }
@@ -88,9 +91,11 @@ mod tests {
     use super::*;
 
     fn sampler() -> TppSampler {
-        let mut cfg = MigrationConfig::default();
-        cfg.tpp_sample_period = Nanos::from_micros(100);
-        cfg.tpp_promotions_per_period = 4;
+        let cfg = MigrationConfig {
+            tpp_sample_period: Nanos::from_micros(100),
+            tpp_promotions_per_period: 4,
+            ..MigrationConfig::default()
+        };
         TppSampler::new(&cfg)
     }
 
@@ -126,7 +131,11 @@ mod tests {
             }
         }
         s.roll_window(Nanos::from_micros(150));
-        assert_eq!(s.pending_candidates(), 4, "bounded by promotions_per_period");
+        assert_eq!(
+            s.pending_candidates(),
+            4,
+            "bounded by promotions_per_period"
+        );
     }
 
     #[test]

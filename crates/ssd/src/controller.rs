@@ -22,7 +22,12 @@ pub struct SsdAccessOutcome {
     /// instead of making the host wait.
     pub delay_hint: bool,
     /// With a delay hint: the controller's estimate of when the data will be
-    /// ready (Algorithm 1 estimate).
+    /// ready in SSD DRAM, carried in the `SkyByte-Delay` response so the OS
+    /// can schedule the wake-up. The controller has already queued the flash
+    /// fill when it answers, so the estimate is the scheduled completion of
+    /// that fill (Algorithm 1's queue-counter estimate is only the trigger
+    /// heuristic — it deliberately over-counts programs/erases that reads
+    /// pre-empt, and waking on it would oversleep).
     pub estimated_ready_at: Nanos,
     /// Device-side latency breakdown (Figure 17 components).
     pub breakdown: AccessBreakdown,
@@ -195,7 +200,7 @@ impl SsdController {
             ready_at,
             served_by: ServedBy::Flash,
             delay_hint,
-            estimated_ready_at: now + decision.estimated_latency,
+            estimated_ready_at: flash_ready + self.dram_latency,
             breakdown: AccessBreakdown {
                 indexing: index_latency,
                 ssd_dram: self.dram_latency,
@@ -318,7 +323,7 @@ impl SsdController {
             ready_at: flash_ready + self.dram_latency,
             served_by: ServedBy::Flash,
             delay_hint,
-            estimated_ready_at: now + decision.estimated_latency,
+            estimated_ready_at: flash_ready + self.dram_latency,
             breakdown: AccessBreakdown {
                 indexing: index_latency,
                 ssd_dram: self.dram_latency,
@@ -552,9 +557,7 @@ impl SsdController {
                 now
             } else if self.ftl.is_mapped(lpa) {
                 // L3/L4: load the page into the coalescing buffer and merge.
-                self.ftl
-                    .read_page(lpa, now, &mut self.flash)
-                    .unwrap_or(now)
+                self.ftl.read_page(lpa, now, &mut self.flash).unwrap_or(now)
             } else {
                 // First write of this page: nothing to merge.
                 now

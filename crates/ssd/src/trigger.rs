@@ -74,15 +74,17 @@ mod tests {
     use skybyte_types::{SsdConfig, SsdGeometry};
 
     fn tiny() -> (Ftl, FlashArray, ThresholdPolicy) {
-        let mut cfg = SsdConfig::default();
-        cfg.geometry = SsdGeometry {
-            channels: 2,
-            chips_per_channel: 1,
-            dies_per_chip: 1,
-            planes_per_die: 1,
-            blocks_per_plane: 8,
-            pages_per_block: 8,
-            page_size_bytes: 4096,
+        let cfg = SsdConfig {
+            geometry: SsdGeometry {
+                channels: 2,
+                chips_per_channel: 1,
+                dies_per_chip: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 8,
+                pages_per_block: 8,
+                page_size_bytes: 4096,
+            },
+            ..SsdConfig::default()
         };
         let flash = FlashArray::new(cfg.geometry, cfg.flash);
         (

@@ -959,8 +959,10 @@ mod tests {
         cfg.cpu.cores = 0;
         assert!(cfg.validate().is_err());
 
-        let mut cfg = SimConfig::default();
-        cfg.threads = 0;
+        let cfg = SimConfig {
+            threads: 0,
+            ..SimConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
         let mut cfg = SimConfig::default();

@@ -98,7 +98,11 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&mut self, latency: Nanos) {
         let ns = latency.as_nanos();
-        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         if self.buckets.is_empty() {
             self.buckets = vec![0; 64];
         }

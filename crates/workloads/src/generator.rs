@@ -61,9 +61,8 @@ impl TraceGenerator {
         // The Zipf table is capped to keep setup cheap for huge hot sets; the
         // cap is far above the scaled experiment sizes.
         let zipf_n = hot_pages.min(1 << 20);
-        let mut rng = ChaCha12Rng::seed_from_u64(
-            seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            ChaCha12Rng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let coverage_cls = Self::coverage_cachelines(spec);
         let cursor_page = cold_start + rng.gen_range(0..per_thread);
         TraceGenerator {
@@ -127,7 +126,9 @@ impl TraceGenerator {
     }
 
     fn pick_location(&mut self, is_write: bool) -> (u64, u8) {
-        let hot = self.rng.gen_bool(self.spec.hot_access_fraction.clamp(0.0, 1.0));
+        let hot = self
+            .rng
+            .gen_bool(self.spec.hot_access_fraction.clamp(0.0, 1.0));
         let page = if hot {
             self.pick_hot_page()
         } else {

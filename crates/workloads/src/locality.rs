@@ -110,7 +110,11 @@ mod tests {
             instructions: 10,
             access: MemAccess::new(
                 VirtAddr::new(page * 4096 + cl * 64),
-                if write { AccessKind::Write } else { AccessKind::Read },
+                if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
             ),
         }
     }

@@ -233,7 +233,12 @@ pub fn table1_characteristics() -> Vec<(String, u64, f64, f64)> {
         .iter()
         .map(|k| {
             let s = k.spec();
-            (s.name().to_string(), s.footprint_bytes, s.write_ratio, s.llc_mpki)
+            (
+                s.name().to_string(),
+                s.footprint_bytes,
+                s.write_ratio,
+                s.llc_mpki,
+            )
         })
         .collect()
 }

@@ -86,8 +86,7 @@ fn figure18_shape_write_log_cuts_flash_write_traffic() {
         let base = run(VariantKind::BaseCssd, workload);
         let full = run(VariantKind::SkyByteFull, workload);
         assert!(
-            (full.flash_pages_programmed as f64)
-                < 0.9 * base.flash_pages_programmed.max(1) as f64,
+            (full.flash_pages_programmed as f64) < 0.9 * base.flash_pages_programmed.max(1) as f64,
             "{workload}: expected a clear write-traffic reduction ({} vs {})",
             full.flash_pages_programmed,
             base.flash_pages_programmed

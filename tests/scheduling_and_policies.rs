@@ -20,7 +20,11 @@ fn figure10_shape_scheduling_policies_perform_similarly() {
     // the threads are all memory-bound and get similar chances to issue I/O.
     let workload = WorkloadKind::Srad;
     let mut times = Vec::new();
-    for policy in [SchedPolicy::RoundRobin, SchedPolicy::Random, SchedPolicy::Cfs] {
+    for policy in [
+        SchedPolicy::RoundRobin,
+        SchedPolicy::Random,
+        SchedPolicy::Cfs,
+    ] {
         let cfg = scale()
             .apply(SimConfig::default().with_variant(VariantKind::SkyByteFull))
             .with_sched_policy(policy);

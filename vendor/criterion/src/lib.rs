@@ -1,0 +1,214 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so this workspace ships a minimal,
+//! API-compatible wall-clock benchmarking harness covering the subset of
+//! criterion that the SkyByte bench targets use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size`, `warm_up_time` and
+//! `measurement_time`), [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. It warms up, picks an
+//! iteration count that fills the measurement window, and reports
+//! min/mean/max per-iteration times — without upstream's statistics engine,
+//! plotting, or baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement backends; only wall-clock time is provided.
+pub mod measurement {
+    /// Wall-clock time measurement (the default of upstream criterion).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 100,
+            default_warm_up: Duration::from_secs(3),
+            default_measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            _criterion: self,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration, created by
+/// [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up = t;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+
+        // Warm-up: run single iterations until the warm-up budget is spent,
+        // estimating the per-iteration cost as we go.
+        let warm_up_start = Instant::now();
+        let mut iter_estimate = Duration::from_nanos(1);
+        let mut warm_up_iters = 0u64;
+        while warm_up_start.elapsed() < self.warm_up {
+            let mut bencher = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            iter_estimate = iter_estimate.max(bencher.elapsed);
+            warm_up_iters += 1;
+            if warm_up_iters >= 10_000 {
+                break;
+            }
+        }
+
+        // Choose an iteration count per sample so that all samples together
+        // roughly fill the measurement window.
+        let per_sample = self.measurement / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / iter_estimate.as_nanos().max(1)).clamp(1, 1 << 20);
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters: iters as u64,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            let per_iter = bencher.elapsed / iters as u32;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += per_iter;
+        }
+        let mean = total / self.sample_size as u32;
+        println!(
+            "{}/{id}: time per iter [min {min:?} mean {mean:?} max {max:?}] \
+             ({} samples x {iters} iters)",
+            self.name, self.sample_size
+        );
+        self
+    }
+
+    /// Finishes the group (upstream reports summaries here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the closure of
+/// [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it as many times as the harness requested.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; this harness ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Vendored stand-in for the `rand_core` crate.
+//!
+//! The build environment is offline, so this workspace ships a minimal,
+//! API-compatible implementation of the subset of `rand_core` that the
+//! SkyByte crates use: the [`RngCore`] and [`SeedableRng`] traits, including
+//! the SplitMix64-based `seed_from_u64` seed expansion that upstream
+//! `rand_core` uses, so seeds behave the same way they would with the real
+//! crate family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates an RNG from the full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64` seed, expanding it with SplitMix64 as the
+    /// upstream `rand_core` implementation does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Vigna), the same expansion upstream rand_core uses.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,538 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment is offline, so this workspace ships a minimal,
+//! API-compatible serialization framework covering the subset of serde that
+//! the SkyByte crates use: `#[derive(Serialize, Deserialize)]` (including
+//! `#[serde(transparent)]`), and JSON round-trips through the companion
+//! `serde_json` stand-in.
+//!
+//! Instead of upstream serde's visitor architecture, this implementation
+//! funnels everything through a self-describing [`Value`] tree: serializing
+//! builds a `Value`, deserializing reads one back. That is all the formats in
+//! this workspace (JSON only) need, and it keeps the derive macro small
+//! enough to hand-roll without `syn`/`quote`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (only produced for negative values).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, string-keyed maps).
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] cannot be deserialized into the requested
+/// type.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::Int(n)
+                } else {
+                    Value::UInt(n as u64)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n: i64 = match value {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n).map_err(Error::custom)?,
+                    other => return Err(Error::custom(format!(
+                        "expected signed integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    // Non-finite floats serialize as null (as in serde_json).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+macro_rules! impl_serde_int128 {
+    ($($t:ty),* $(,)?) => {$(
+        // 128-bit integers exceed the JSON number range of the data model, so
+        // they round-trip as decimal strings.
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Str(s) => s.parse::<$t>().map_err(Error::custom),
+                    Value::UInt(n) => <$t>::try_from(*n).map_err(Error::custom),
+                    Value::Int(n) => <$t>::try_from(*n).map_err(Error::custom),
+                    other => Err(Error::custom(format!(
+                        "expected 128-bit integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int128!(u128, i128);
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Seq(items.map(Serialize::serialize).collect())
+}
+
+fn deserialize_seq<T: Deserialize>(value: &Value) -> Result<Vec<T>, Error> {
+    match value {
+        Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+        other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = deserialize_seq::<T>(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value)
+            .map(Vec::into_iter)
+            .map(VecDeque::from_iter)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value)
+            .map(Vec::into_iter)
+            .map(BTreeSet::from_iter)
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value)
+            .map(Vec::into_iter)
+            .map(HashSet::from_iter)
+    }
+}
+
+/// Maps serialize as a sequence of `[key, value]` pairs so that non-string
+/// keys survive a JSON round-trip.
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Seq(
+        entries
+            .map(|(k, v)| Value::Seq(vec![k.serialize(), v.serialize()]))
+            .collect(),
+    )
+}
+
+fn deserialize_map<K: Deserialize, V: Deserialize>(value: &Value) -> Result<Vec<(K, V)>, Error> {
+    match value {
+        Value::Seq(items) => items
+            .iter()
+            .map(|pair| match pair {
+                Value::Seq(kv) if kv.len() == 2 => {
+                    Ok((K::deserialize(&kv[0])?, V::deserialize(&kv[1])?))
+                }
+                other => Err(Error::custom(format!(
+                    "expected [key, value] pair, got {other:?}"
+                ))),
+            })
+            .collect(),
+        other => Err(Error::custom(format!("expected map, got {other:?}"))),
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_map(value)
+            .map(Vec::into_iter)
+            .map(HashMap::from_iter)
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_map(value)
+            .map(Vec::into_iter)
+            .map(BTreeMap::from_iter)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                match value {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($t::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {LEN}-tuple, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let secs: u64 = __private::field(value, "secs")?;
+        let nanos: u32 = __private::field(value, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<T> Serialize for std::marker::PhantomData<T> {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T> Deserialize for std::marker::PhantomData<T> {
+    fn deserialize(_: &Value) -> Result<Self, Error> {
+        Ok(std::marker::PhantomData)
+    }
+}
+
+/// Helpers used by the generated code of `#[derive(Serialize, Deserialize)]`.
+/// Not part of the public API contract.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `name` in a [`Value::Map`] and deserializes it.
+    pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+        match value {
+            Value::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => T::deserialize(v),
+                None => Err(Error::custom(format!("missing field `{name}`"))),
+            },
+            other => Err(Error::custom(format!(
+                "expected map with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Returns the elements of a [`Value::Seq`] of the exact expected length.
+    pub fn tuple_elements(value: &Value, len: usize) -> Result<&[Value], Error> {
+        match value {
+            Value::Seq(items) if items.len() == len => Ok(items),
+            other => Err(Error::custom(format!(
+                "expected sequence of length {len}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Builds the error for an unknown enum variant string.
+    pub fn unknown_variant(value: &Value, ty: &str) -> Error {
+        Error::custom(format!("unknown variant {value:?} for enum {ty}"))
+    }
+}

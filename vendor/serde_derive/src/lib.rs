@@ -1,0 +1,595 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment is offline (no `syn`/`quote`), so this crate parses
+//! the derive input with a small hand-rolled walker over raw
+//! [`proc_macro::TokenTree`]s and emits impls of the vendored `serde` crate's
+//! [`Serialize`]/[`Deserialize`] traits as source text. Supported shapes are
+//! exactly what the SkyByte crates use: structs with named fields, tuple
+//! structs, unit structs, fieldless enums, generic parameters, and the
+//! `#[serde(transparent)]` attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list as declared, without the angle brackets.
+    generics_decl: String,
+    /// Generic arguments for the use site (`K, W`), without angle brackets.
+    generics_use: String,
+    /// Names of the type parameters (bounds for these are added).
+    type_params: Vec<String>,
+    /// Predicates of an explicit `where` clause, without the keyword.
+    where_predicates: String,
+    transparent: bool,
+    body: Body,
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return error(&msg),
+    };
+    let code = if ser {
+        generate_serialize(&parsed)
+    } else {
+        generate_deserialize(&parsed)
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Attributes (doc comments, #[serde(transparent)], ...).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if attr_is_serde_transparent(g.stream()) {
+                transparent = true;
+            }
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let is_enum = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => {
+            return Err(format!(
+                "serde_derive: expected struct or enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    let (generics_decl, generics_use, type_params) = if matches!(
+        &tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<'
+    ) {
+        let start = i + 1;
+        let mut depth = 1usize;
+        let mut j = start;
+        while j < tokens.len() && depth > 0 {
+            if let TokenTree::Punct(p) = &tokens[j] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            return Err("serde_derive: unbalanced generics".to_string());
+        }
+        let inner = &tokens[start..j - 1];
+        let decl = tokens_to_string(inner);
+        let (use_args, params) = generic_params(inner)?;
+        i = j;
+        (decl, use_args, params)
+    } else {
+        (String::new(), String::new(), Vec::new())
+    };
+
+    // Optional where clause before the body (named structs / enums).
+    let mut where_predicates = String::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        let start = i + 1;
+        let mut j = start;
+        while j < tokens.len()
+            && !matches!(&tokens[j], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+            && !matches!(&tokens[j], TokenTree::Punct(p) if p.as_char() == ';')
+        {
+            j += 1;
+        }
+        where_predicates = tokens_to_string(&tokens[start..j]);
+        i = j;
+    }
+
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Body::Enum(parse_variants(g.stream())?)
+            } else {
+                Body::Named(parse_named_fields(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if is_enum {
+                return Err("serde_derive: malformed enum body".to_string());
+            }
+            // A where clause may follow the tuple body; capture it too.
+            if matches!(&tokens.get(i + 1), Some(TokenTree::Ident(id)) if id.to_string() == "where")
+            {
+                let start = i + 2;
+                let mut j = start;
+                while j < tokens.len()
+                    && !matches!(&tokens[j], TokenTree::Punct(p) if p.as_char() == ';')
+                {
+                    j += 1;
+                }
+                where_predicates = tokens_to_string(&tokens[start..j]);
+            }
+            Body::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        None if !is_enum => Body::Unit,
+        other => return Err(format!("serde_derive: unexpected body token {other:?}")),
+    };
+
+    Ok(Input {
+        name,
+        generics_decl,
+        generics_use,
+        type_params,
+        where_predicates,
+        transparent,
+        body,
+    })
+}
+
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Splits a generic parameter list into use-site arguments and the names of
+/// the type parameters (lifetimes pass through, bounds and defaults drop).
+fn generic_params(tokens: &[TokenTree]) -> Result<(String, Vec<String>), String> {
+    let mut use_args: Vec<String> = Vec::new();
+    let mut type_params = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut k = 0;
+    while k < tokens.len() {
+        match &tokens[k] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 0 && at_param_start => {
+                if let Some(TokenTree::Ident(id)) = tokens.get(k + 1) {
+                    use_args.push(format!("'{id}"));
+                    at_param_start = false;
+                    k += 2;
+                    continue;
+                }
+            }
+            TokenTree::Ident(id) if depth == 0 && at_param_start => {
+                let name = id.to_string();
+                if name == "const" {
+                    if let Some(TokenTree::Ident(cn)) = tokens.get(k + 1) {
+                        use_args.push(cn.to_string());
+                        at_param_start = false;
+                        k += 2;
+                        continue;
+                    }
+                    return Err("serde_derive: malformed const parameter".to_string());
+                }
+                use_args.push(name.clone());
+                type_params.push(name);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Ok((use_args.join(", "), type_params))
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("serde_derive: expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '-' => {
+                    // `->` in fn-pointer types: skip both halves of the arrow.
+                    if matches!(&tokens.get(i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>')
+                    {
+                        i += 1;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                if matches!(&tokens.get(i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                    i += 1;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && i + 1 < tokens.len() =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let fields = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next top-level comma.
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+                VariantFields::Unit
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn impl_header(input: &Input, trait_path: &str) -> String {
+    let generics = if input.generics_decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", input.generics_decl)
+    };
+    let use_args = if input.generics_use.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", input.generics_use)
+    };
+    let mut predicates: Vec<String> = Vec::new();
+    if !input.where_predicates.is_empty() {
+        predicates.push(input.where_predicates.clone());
+    }
+    for p in &input.type_params {
+        predicates.push(format!("{p}: {trait_path}"));
+    }
+    let where_clause = if predicates.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", predicates.join(", "))
+    };
+    format!(
+        "impl{generics} {trait_path} for {name}{use_args} {where_clause}",
+        name = input.name
+    )
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let body = match &input.body {
+        Body::Named(fields) if input.transparent && fields.len() == 1 => {
+            format!("serde::Serialize::serialize(&self.{})", fields[0])
+        }
+        Body::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((std::string::String::from({f:?}), \
+                     serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: std::vec::Vec<(std::string::String, serde::Value)> = \
+                 std::vec::Vec::new();\n{pushes}serde::Value::Map(__fields)"
+            )
+        }
+        Body::Tuple(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            // Externally tagged representation, as upstream serde: unit
+            // variants are a bare string, data variants a one-entry map.
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let name = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "Self::{name} => serde::Value::Str(std::string::String::from({name:?}))"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(std::string::String::from({f:?}), \
+                                     serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{name} {{ {binds} }} => serde::Value::Map(vec![(\
+                                 std::string::String::from({name:?}), \
+                                 serde::Value::Map(vec![{}]))])",
+                                pushes.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "Self::{name}(__f0) => serde::Value::Map(vec![(\
+                             std::string::String::from({name:?}), \
+                             serde::Serialize::serialize(__f0))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::serialize(__f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{name}({}) => serde::Value::Map(vec![(\
+                                 std::string::String::from({name:?}), \
+                                 serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "{header} {{ fn serialize(&self) -> serde::Value {{ {body} }} }}",
+        header = impl_header(input, "serde::Serialize")
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Named(fields) if input.transparent && fields.len() == 1 => {
+            format!(
+                "std::result::Result::Ok(Self {{ {f}: serde::Deserialize::deserialize(__value)? }})",
+                f = fields[0]
+            )
+        }
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__private::field(__value, {f:?})?"))
+                .collect();
+            format!("std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Body::Tuple(1) => {
+            "std::result::Result::Ok(Self(serde::Deserialize::deserialize(__value)?))".to_string()
+        }
+        Body::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = serde::__private::tuple_elements(__value, {n})?;\n\
+                 std::result::Result::Ok(Self({}))",
+                inits.join(", ")
+            )
+        }
+        Body::Unit => "std::result::Result::Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{v:?} => std::result::Result::Ok(Self::{v}),", v = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let constructor = match &v.fields {
+                        VariantFields::Unit => return None,
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: serde::__private::field(__inner, {f:?})?"))
+                                .collect();
+                            format!("Self::{vname} {{ {} }}", inits.join(", "))
+                        }
+                        VariantFields::Tuple(1) => {
+                            format!("Self::{vname}(serde::Deserialize::deserialize(__inner)?)")
+                        }
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __items = serde::__private::tuple_elements(__inner, {n})?; \
+                                 Self::{vname}({}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    };
+                    Some(format!(
+                        "{vname:?} => std::result::Result::Ok({constructor}),"
+                    ))
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                   serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\n\
+                     _ => std::result::Result::Err(serde::__private::unknown_variant(__value, {name:?})),\n\
+                   }},\n\
+                   serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                       {data_arms}\n\
+                       _ => std::result::Result::Err(serde::__private::unknown_variant(__value, {name:?})),\n\
+                     }}\n\
+                   }},\n\
+                   _ => std::result::Result::Err(serde::__private::unknown_variant(__value, {name:?})),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn deserialize(__value: &serde::Value) -> std::result::Result<Self, serde::Error> {{ {body} }} }}",
+        header = impl_header(input, "serde::Deserialize")
+    )
+}
