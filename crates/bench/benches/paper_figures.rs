@@ -9,13 +9,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use skybyte_sim::experiments as exp;
-use skybyte_sim::ExperimentScale;
+use skybyte_sim::{ExperimentScale, Runner};
 use std::time::Duration;
 
 /// A deliberately small scale so each figure regenerates in well under a
 /// second per iteration in release mode.
 fn micro_scale() -> ExperimentScale {
     ExperimentScale::tiny().with_accesses_per_thread(120)
+}
+
+/// A fresh sequential runner per iteration: memoization would otherwise turn
+/// every iteration after the first into a cache lookup, and a single worker
+/// keeps the timings comparable across hosts.
+fn fresh_runner() -> Runner {
+    Runner::new(1)
 }
 
 fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
@@ -30,13 +37,13 @@ fn bench_motivation_figures(c: &mut Criterion) {
     let scale = micro_scale();
     let mut group = configure(c);
     group.bench_function("figure_02_dram_vs_cssd", |b| {
-        b.iter(|| exp::fig02_dram_vs_cssd(&scale))
+        b.iter(|| exp::fig02_dram_vs_cssd(&fresh_runner(), &scale))
     });
     group.bench_function("figure_03_latency_distribution", |b| {
-        b.iter(|| exp::fig03_latency_distribution(&scale))
+        b.iter(|| exp::fig03_latency_distribution(&fresh_runner(), &scale))
     });
     group.bench_function("figure_04_boundedness", |b| {
-        b.iter(|| exp::fig04_boundedness(&scale))
+        b.iter(|| exp::fig04_boundedness(&fresh_runner(), &scale))
     });
     group.bench_function("figure_05_read_locality_cdf", |b| {
         b.iter(|| exp::fig05_06_locality_cdf(&scale, false))
@@ -51,10 +58,10 @@ fn bench_design_figures(c: &mut Criterion) {
     let scale = micro_scale();
     let mut group = configure(c);
     group.bench_function("figure_09_threshold_sweep", |b| {
-        b.iter(|| exp::fig09_threshold_sweep(&scale))
+        b.iter(|| exp::fig09_threshold_sweep(&fresh_runner(), &scale))
     });
     group.bench_function("figure_10_sched_policies", |b| {
-        b.iter(|| exp::fig10_sched_policies(&scale))
+        b.iter(|| exp::fig10_sched_policies(&fresh_runner(), &scale))
     });
     group.finish();
 }
@@ -63,17 +70,19 @@ fn bench_main_evaluation_figures(c: &mut Criterion) {
     let scale = micro_scale();
     let mut group = configure(c);
     group.bench_function("figure_14_main_ablation", |b| {
-        b.iter(|| exp::fig14_main_ablation(&scale))
+        b.iter(|| exp::fig14_main_ablation(&fresh_runner(), &scale))
     });
     group.bench_function("figure_15_thread_scaling", |b| {
-        b.iter(|| exp::fig15_thread_scaling(&scale))
+        b.iter(|| exp::fig15_thread_scaling(&fresh_runner(), &scale))
     });
     group.bench_function("figure_16_request_breakdown", |b| {
-        b.iter(|| exp::fig16_request_breakdown(&scale))
+        b.iter(|| exp::fig16_request_breakdown(&fresh_runner(), &scale))
     });
-    group.bench_function("figure_17_amat", |b| b.iter(|| exp::fig17_amat(&scale)));
+    group.bench_function("figure_17_amat", |b| {
+        b.iter(|| exp::fig17_amat(&fresh_runner(), &scale))
+    });
     group.bench_function("figure_18_write_traffic", |b| {
-        b.iter(|| exp::fig18_write_traffic(&scale))
+        b.iter(|| exp::fig18_write_traffic(&fresh_runner(), &scale))
     });
     group.finish();
 }
@@ -82,16 +91,16 @@ fn bench_sensitivity_figures(c: &mut Criterion) {
     let scale = micro_scale();
     let mut group = configure(c);
     group.bench_function("figure_19_20_write_log_sweep", |b| {
-        b.iter(|| exp::fig19_20_write_log_sweep(&scale))
+        b.iter(|| exp::fig19_20_write_log_sweep(&fresh_runner(), &scale))
     });
     group.bench_function("figure_21_dram_size_sweep", |b| {
-        b.iter(|| exp::fig21_dram_size_sweep(&scale))
+        b.iter(|| exp::fig21_dram_size_sweep(&fresh_runner(), &scale))
     });
     group.bench_function("figure_22_flash_latency_sweep", |b| {
-        b.iter(|| exp::fig22_flash_latency_sweep(&scale))
+        b.iter(|| exp::fig22_flash_latency_sweep(&fresh_runner(), &scale))
     });
     group.bench_function("figure_23_migration_mechanisms", |b| {
-        b.iter(|| exp::fig23_migration_mechanisms(&scale))
+        b.iter(|| exp::fig23_migration_mechanisms(&fresh_runner(), &scale))
     });
     group.finish();
 }
@@ -102,7 +111,7 @@ fn bench_tables(c: &mut Criterion) {
     group.bench_function("table_1_workloads", |b| b.iter(exp::table1_workloads));
     group.bench_function("table_2_parameters", |b| b.iter(exp::table2_parameters));
     group.bench_function("table_3_flash_read_latency", |b| {
-        b.iter(|| exp::table3_flash_read_latency(&scale))
+        b.iter(|| exp::table3_flash_read_latency(&fresh_runner(), &scale))
     });
     group.bench_function("table_4_nand_parameters", |b| {
         b.iter(exp::table4_nand_parameters)

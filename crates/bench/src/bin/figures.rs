@@ -4,13 +4,17 @@
 //! ```text
 //! cargo run --release -p skybyte-bench --bin figures -- --all
 //! cargo run --release -p skybyte-bench --bin figures -- --fig 14 --scale bench
-//! cargo run --release -p skybyte-bench --bin figures -- --table 3 --json
+//! cargo run --release -p skybyte-bench --bin figures -- --all --jobs 8
 //! ```
+//!
+//! All simulations of one invocation run on a shared parallel, memoizing
+//! runner (`--jobs N` workers, defaulting to the host's available
+//! parallelism), so baselines needed by several figures are simulated once.
 //!
 //! Figures 1, 7, 8, 11, 12 and 13 are architecture diagrams without data
 //! series and are therefore not listed.
 
-use skybyte_bench::figures_scale;
+use skybyte_bench::{figures_scale, harness_runner};
 use skybyte_sim::report::{render_figure, render_table, DATA_FIGURES};
 use skybyte_sim::ExperimentScale;
 use std::process::ExitCode;
@@ -20,6 +24,7 @@ struct Options {
     tables: Vec<u32>,
     scale: ExperimentScale,
     all: bool,
+    jobs: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -28,6 +33,7 @@ fn parse_args() -> Result<Options, String> {
         tables: Vec::new(),
         scale: ExperimentScale::bench(),
         all: false,
+        jobs: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -58,9 +64,22 @@ fn parse_args() -> Result<Options, String> {
                 opts.scale = figures_scale(name)
                     .ok_or_else(|| format!("unknown scale '{name}' (tiny|bench|default)"))?;
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .ok_or("--jobs requires a number")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid job count: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = Some(n);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--all] [--fig N]... [--table N]... [--scale tiny|bench|default]"
+                    "usage: figures [--all] [--fig N]... [--table N]... \
+                     [--scale tiny|bench|default] [--jobs N]"
                 );
                 std::process::exit(0);
             }
@@ -89,11 +108,24 @@ fn main() -> ExitCode {
     } else {
         (opts.figures, opts.tables)
     };
+    let runner = harness_runner(opts.jobs);
     for t in tables {
-        println!("{}", render_table(t, &opts.scale));
+        println!("{}", render_table(&runner, t, &opts.scale));
     }
     for f in figures {
-        println!("{}", render_figure(f, &opts.scale));
+        println!("{}", render_figure(&runner, f, &opts.scale));
+    }
+    eprintln!(
+        "[figures] {} unique simulations on {} worker thread(s)",
+        runner.runs_executed(),
+        runner.jobs()
+    );
+    if runner.truncated_runs() > 0 {
+        eprintln!(
+            "[figures] warning: {} simulation(s) hit the engine step limit; \
+             the corresponding series describe truncated executions",
+            runner.truncated_runs()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -2,10 +2,10 @@
 //!
 //! The actual deliverables of this crate are:
 //!
-//! * `cargo run -p skybyte-bench --bin figures [-- --fig N | --table N | --all]`
-//!   — regenerates the data series of every table and figure of the paper's
-//!   evaluation section and prints them as plain-text tables (optionally as
-//!   JSON with `--json`);
+//! * `cargo run -p skybyte-bench --bin figures [-- --fig N | --table N |
+//!   --all] [--jobs N]` — regenerates the data series of every table and
+//!   figure of the paper's evaluation section on a parallel, memoizing
+//!   [`Runner`] and prints them as plain-text tables;
 //! * `cargo bench -p skybyte-bench` — Criterion benchmarks: one group per
 //!   headline evaluation figure (at a reduced scale so the suite finishes on
 //!   a laptop) plus microbenchmarks of the core data structures (write-log
@@ -15,7 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use skybyte_sim::ExperimentScale;
+use skybyte_sim::runner::default_parallelism;
+use skybyte_sim::{ExperimentScale, Runner};
 
 /// The scale used by the Criterion figure benchmarks: small enough that one
 /// simulation takes well under a second.
@@ -34,6 +35,13 @@ pub fn figures_scale(name: &str) -> Option<ExperimentScale> {
     }
 }
 
+/// Builds the memoizing simulation runner shared by everything one harness
+/// invocation regenerates: `jobs == None` sizes the worker pool to the
+/// host's available parallelism (the `--jobs` default).
+pub fn harness_runner(jobs: Option<usize>) -> Runner {
+    Runner::new(jobs.unwrap_or_else(default_parallelism))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +54,11 @@ mod tests {
         assert!(figures_scale("paper").is_some());
         assert!(figures_scale("bogus").is_none());
         assert!(bench_scale().accesses_per_thread <= 2_000);
+    }
+
+    #[test]
+    fn harness_runner_resolves_jobs() {
+        assert_eq!(harness_runner(Some(3)).jobs(), 3);
+        assert!(harness_runner(None).jobs() >= 1);
     }
 }

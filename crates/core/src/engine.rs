@@ -21,8 +21,8 @@ use skybyte_ssd::{ServedBy, SsdController};
 use skybyte_types::{LatencyHistogram, Lpa, Nanos, PageNumber, SimConfig, VariantKind};
 use skybyte_workloads::WorkloadKind;
 
-/// How often (in classified memory accesses) the background migration policy
-/// gets a chance to promote a page.
+/// How often (in SSD accesses, squashed or not) the background migration
+/// policy gets a chance to promote a page.
 const MIGRATION_PERIOD_ACCESSES: u64 = 64;
 
 /// A fully configured simulation, ready to [`run`](Simulation::run).
@@ -93,7 +93,7 @@ impl Simulation {
             self.scale.seed,
         );
         let mut page_table = PageTable::new();
-        let mut tlb = Tlb::new(1536, Nanos::new(30));
+        let mut tlb = Tlb::new(cfg.cpu.tlb.entries as usize, cfg.cpu.tlb.miss_latency);
         let mut migration = MigrationEngine::new(cfg);
         // The total amount of work is fixed per workload and scale
         // (`accesses_per_thread` × cores), independent of how many threads it
@@ -123,13 +123,21 @@ impl Simulation {
         let mut requests = RequestBreakdown::default();
         let mut hist = LatencyHistogram::new();
         let mut instructions: u64 = 0;
+        // Counts every SSD access, including squashed (context-switched) ones
+        // that never reach the classified `requests` breakdown; the migration
+        // cadence below must advance on those too, otherwise a request total
+        // parked on a multiple of the period would re-fire the policy on
+        // every access.
+        let mut ssd_accesses: u64 = 0;
 
         let max_steps = threads as u64 * self.scale.accesses_per_thread * 64 + 1_000_000;
         let mut steps: u64 = 0;
+        let mut truncated = false;
 
         while !sched.all_finished() {
             steps += 1;
             if steps > max_steps {
+                truncated = true;
                 break;
             }
             let core = (0..cores)
@@ -198,6 +206,7 @@ impl Simulation {
                     }
                 }
                 PagePlacement::CxlSsd(lpa) => {
+                    ssd_accesses += 1;
                     let cl = unit.access.addr.cacheline_in_page() as u8;
                     let arrival = port.deliver_request(t);
                     let outcome = if unit.access.kind.is_write() {
@@ -230,7 +239,9 @@ impl Simulation {
                         // The squashed access is excluded from AMAT (§VI-D).
                     } else {
                         let response = if unit.access.kind.is_write() {
-                            port.deliver_request(outcome.ready_at)
+                            // A write completion carries no payload back to
+                            // the host; it is a response, not a new request.
+                            port.deliver_response(outcome.ready_at)
                         } else {
                             port.deliver_cacheline(outcome.ready_at)
                         };
@@ -258,7 +269,8 @@ impl Simulation {
                         }
                     }
 
-                    if migration.enabled() && requests.total() % MIGRATION_PERIOD_ACCESSES == 0 {
+                    if migration.enabled() && ssd_accesses.is_multiple_of(MIGRATION_PERIOD_ACCESSES)
+                    {
                         let mut ctx = MigrationContext {
                             ssd: &mut ssd,
                             page_table: &mut page_table,
@@ -310,6 +322,9 @@ impl Simulation {
             flash_busy_time: ssd.flash_busy_time(),
             flash_channels: cfg.ssd.geometry.channels,
             gc_campaigns: ssd.ftl_stats().gc_campaigns,
+            ssd_accesses,
+            migration_runs: migration.stats().runs,
+            truncated,
         }
     }
 }
@@ -398,6 +413,69 @@ mod tests {
         assert_eq!(base.pages_promoted, 0);
         assert!(p.pages_promoted > 0, "SkyByte-P must promote hot pages");
         assert!(p.requests.host > 0, "promoted pages must serve host hits");
+    }
+
+    #[test]
+    fn migration_cadence_is_bounded_under_context_switching() {
+        // SkyByte-CP squashes long accesses without classifying them; the
+        // cadence counter must still advance on those, so the policy fires at
+        // most once per MIGRATION_PERIOD_ACCESSES-access window.
+        for workload in [WorkloadKind::Srad, WorkloadKind::Tpcc] {
+            let r = run(VariantKind::SkyByteCP, workload);
+            assert!(r.context_switches > 0, "{workload:?}: expected squashes");
+            assert!(r.ssd_accesses > 0);
+            let windows = r.ssd_accesses / MIGRATION_PERIOD_ACCESSES + 1;
+            assert!(
+                r.migration_runs <= windows,
+                "{workload:?}: migration ran {} times over {} SSD accesses \
+                 (max one per {MIGRATION_PERIOD_ACCESSES}-access window)",
+                r.migration_runs,
+                r.ssd_accesses
+            );
+        }
+    }
+
+    #[test]
+    fn squashed_accesses_are_counted_by_the_ssd_access_counter() {
+        let r = run(VariantKind::SkyByteC, WorkloadKind::Srad);
+        // The classified SSD requests exclude squashed accesses, so the raw
+        // counter must be at least as large.
+        let classified = r.requests.ssd_read_hit + r.requests.ssd_read_miss + r.requests.ssd_write;
+        assert!(r.ssd_accesses >= classified);
+        assert!(
+            r.context_switches == 0 || r.ssd_accesses > classified,
+            "squashed accesses must show up in ssd_accesses"
+        );
+    }
+
+    #[test]
+    fn tiny_scale_runs_never_truncate() {
+        for variant in [
+            VariantKind::BaseCssd,
+            VariantKind::SkyByteFull,
+            VariantKind::DramOnly,
+            VariantKind::AstriFlashCxl,
+        ] {
+            let r = run(variant, WorkloadKind::Ycsb);
+            assert!(!r.truncated, "{variant}: tiny-scale run truncated");
+        }
+    }
+
+    #[test]
+    fn tlb_configuration_is_respected() {
+        let scale = ExperimentScale::tiny();
+        // A 1-entry TLB with a huge walk penalty must slow execution down
+        // versus the Table II default.
+        let default_cfg = scale.apply(SimConfig::default().with_variant(VariantKind::BaseCssd));
+        let tiny_tlb_cfg = default_cfg.clone().with_tlb(1, Nanos::from_micros(5));
+        let fast = Simulation::with_config(default_cfg, WorkloadKind::Ycsb, &scale).run();
+        let slow = Simulation::with_config(tiny_tlb_cfg, WorkloadKind::Ycsb, &scale).run();
+        assert!(
+            slow.exec_time > fast.exec_time,
+            "1-entry TLB ({}) must be slower than the default ({})",
+            slow.exec_time,
+            fast.exec_time
+        );
     }
 
     #[test]

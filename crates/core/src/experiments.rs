@@ -1,19 +1,27 @@
 //! Regeneration of every table and figure of the paper's evaluation section.
 //!
-//! Each `figNN_*` / `tableN_*` function runs the required set of simulations
-//! at a given [`ExperimentScale`] and returns an [`ExperimentTable`] whose
-//! rows/columns correspond to the series plotted in the paper. The
-//! `skybyte-bench` crate prints these tables (`cargo run -p skybyte-bench
-//! --bin figures`) and wraps them in Criterion benchmarks; `EXPERIMENTS.md`
-//! records the measured values next to the paper's numbers.
+//! Each `figNN_*` / `tableN_*` function enumerates the full set of simulation
+//! runs it needs up front as [`RunRequest`]s, hands the batch to a
+//! [`Runner`] — which executes unique runs once on its worker pool and
+//! serves repeats from its memo table — and assembles an [`ExperimentTable`]
+//! whose rows/columns correspond to the series plotted in the paper. Because
+//! every simulation is deterministic, the tables are bit-identical whether
+//! the runner is sequential (`Runner::new(1)`) or parallel, and baselines
+//! shared across figures (e.g. the Base-CSSD run of each workload) are
+//! simulated exactly once per harness invocation.
+//!
+//! The `skybyte-bench` crate prints these tables (`cargo run -p
+//! skybyte-bench --bin figures -- --jobs N`) and wraps them in Criterion
+//! benchmarks; `EXPERIMENTS.md` records the measured values next to the
+//! paper's numbers.
 //!
 //! The absolute magnitudes differ from the paper (scaled-down devices and
 //! synthetic traces, see [`crate::scale`]), but each experiment preserves the
 //! paper's comparison: who wins, roughly by how much, and where the
 //! crossovers are.
 
-use crate::engine::Simulation;
-use crate::metrics::{geometric_mean, SimResult};
+use crate::metrics::geometric_mean;
+use crate::runner::{RunRequest, Runner};
 use crate::scale::ExperimentScale;
 use serde::{Deserialize, Serialize};
 use skybyte_types::{NandKind, Nanos, SchedPolicy, SimConfig, VariantKind, KIB, MIB};
@@ -74,8 +82,8 @@ pub const REPRESENTATIVE_WORKLOADS: [WorkloadKind; 4] = [
     WorkloadKind::Tpcc,
 ];
 
-fn run(variant: VariantKind, workload: WorkloadKind, scale: &ExperimentScale) -> SimResult {
-    Simulation::build(variant, workload, scale).run()
+fn req(variant: VariantKind, workload: WorkloadKind, scale: &ExperimentScale) -> RunRequest {
+    RunRequest::build(variant, workload, scale)
 }
 
 // ---------------------------------------------------------------------------
@@ -84,34 +92,48 @@ fn run(variant: VariantKind, workload: WorkloadKind, scale: &ExperimentScale) ->
 
 /// Figure 2: end-to-end execution time with host DRAM vs a baseline CXL-SSD,
 /// normalised to DRAM (the paper reports 1.5–31.4× slowdowns).
-pub fn fig02_dram_vs_cssd(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig02_dram_vs_cssd(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "figure-02",
         "Execution time: DRAM vs baseline CXL-SSD (normalised to DRAM)",
         &["dram", "baseline_cxl_ssd"],
     );
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let dram = run(VariantKind::DramOnly, w, scale);
-        let cssd = run(VariantKind::BaseCssd, w, scale);
-        t.push(w.name(), vec![1.0, cssd.normalized_exec_time(&dram)]);
+        runs.push(req(VariantKind::DramOnly, w, scale));
+        runs.push(req(VariantKind::BaseCssd, w, scale));
+    }
+    let results = runner.run_all(&runs);
+    for (w, pair) in ALL_WORKLOADS.iter().zip(results.chunks(2)) {
+        let (dram, cssd) = (&pair[0], &pair[1]);
+        t.push(w.name(), vec![1.0, cssd.normalized_exec_time(dram)]);
     }
     t
 }
 
 /// Figure 3: off-chip latency distribution (p50/p90/p99/max, in ns) for DRAM
 /// vs the baseline CXL-SSD on the four representative workloads.
-pub fn fig03_latency_distribution(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig03_latency_distribution(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "figure-03",
         "Memory latency distribution (ns): DRAM vs CXL-SSD",
         &["p50", "p90", "p99", "max"],
     );
+    let series = [
+        ("dram", VariantKind::DramOnly),
+        ("cssd", VariantKind::BaseCssd),
+    ];
+    let mut runs = Vec::new();
     for w in REPRESENTATIVE_WORKLOADS {
-        for (label, variant) in [
-            ("dram", VariantKind::DramOnly),
-            ("cssd", VariantKind::BaseCssd),
-        ] {
-            let r = run(variant, w, scale);
+        for (_, variant) in series {
+            runs.push(req(variant, w, scale));
+        }
+    }
+    let results = runner.run_all(&runs);
+    let mut results = results.iter();
+    for w in REPRESENTATIVE_WORKLOADS {
+        for (label, _) in series {
+            let r = results.next().expect("one result per workload/series");
             let h = &r.latency_hist;
             t.push(
                 format!("{}/{label}", w.name()),
@@ -129,20 +151,24 @@ pub fn fig03_latency_distribution(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 4: fraction of execution bounded by memory vs compute, with DRAM
 /// and with the baseline CXL-SSD.
-pub fn fig04_boundedness(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig04_boundedness(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "figure-04",
         "Memory-bounded fraction of execution time",
         &["dram_memory_bound", "cssd_memory_bound"],
     );
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let dram = run(VariantKind::DramOnly, w, scale);
-        let cssd = run(VariantKind::BaseCssd, w, scale);
+        runs.push(req(VariantKind::DramOnly, w, scale));
+        runs.push(req(VariantKind::BaseCssd, w, scale));
+    }
+    let results = runner.run_all(&runs);
+    for (w, pair) in ALL_WORKLOADS.iter().zip(results.chunks(2)) {
         t.push(
             w.name(),
             vec![
-                dram.boundedness.memory_fraction(),
-                cssd.boundedness.memory_fraction(),
+                pair[0].boundedness.memory_fraction(),
+                pair[1].boundedness.memory_fraction(),
             ],
         );
     }
@@ -152,6 +178,9 @@ pub fn fig04_boundedness(scale: &ExperimentScale) -> ExperimentTable {
 /// Figures 5 and 6: page-locality CDFs of the workload traces — the fraction
 /// of pages whose read (resp. written) cacheline coverage is below 25 %,
 /// 40 % and 75 %, plus the mean coverage.
+///
+/// These figures characterise the traces themselves, so no simulation (and no
+/// runner) is involved.
 pub fn fig05_06_locality_cdf(scale: &ExperimentScale, write: bool) -> ExperimentTable {
     let (id, title) = if write {
         ("figure-06", "Dirty-cacheline coverage CDF of flushed pages")
@@ -198,7 +227,7 @@ pub fn fig05_06_locality_cdf(scale: &ExperimentScale, write: bool) -> Experiment
 
 /// Figure 9: sensitivity of SkyByte-Full to the context-switch trigger
 /// threshold (2–80 µs), normalised to the 2 µs default.
-pub fn fig09_threshold_sweep(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig09_threshold_sweep(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let thresholds_us = [2u64, 10, 20, 40, 60, 80];
     let columns: Vec<String> = thresholds_us.iter().map(|t| format!("{t}us")).collect();
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -207,19 +236,25 @@ pub fn fig09_threshold_sweep(scale: &ExperimentScale) -> ExperimentTable {
         "Execution time vs context-switch trigger threshold (normalised to 2us)",
         &col_refs,
     );
+    let mut runs = Vec::new();
     for w in REPRESENTATIVE_WORKLOADS {
-        let mut times = Vec::new();
         for &threshold in &thresholds_us {
             let mut cfg = scale.apply(SimConfig::default().with_variant(VariantKind::SkyByteFull));
             cfg.cs_threshold = Nanos::from_micros(threshold);
-            times.push(Simulation::with_config(cfg, w, scale).run().exec_time);
+            runs.push(RunRequest::with_config(cfg, w, scale));
         }
-        let baseline = times[0];
+    }
+    let results = runner.run_all(&runs);
+    for (w, chunk) in REPRESENTATIVE_WORKLOADS
+        .iter()
+        .zip(results.chunks(thresholds_us.len()))
+    {
+        let baseline = chunk[0].exec_time;
         t.push(
             w.name(),
-            times
+            chunk
                 .iter()
-                .map(|x| x.as_nanos() as f64 / baseline.as_nanos() as f64)
+                .map(|x| x.exec_time.as_nanos() as f64 / baseline.as_nanos() as f64)
                 .collect(),
         );
     }
@@ -228,33 +263,38 @@ pub fn fig09_threshold_sweep(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 10: thread-scheduling policies (RR, Random, CFS) under SkyByte,
 /// normalised execution time plus the context-switch share of time.
-pub fn fig10_sched_policies(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig10_sched_policies(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "figure-10",
         "Scheduling policy comparison (normalised execution time / CS fraction)",
         &["rr", "random", "cfs", "cfs_cs_fraction"],
     );
-    for w in [
+    let workloads = [
         WorkloadKind::Bc,
         WorkloadKind::Radix,
         WorkloadKind::Srad,
         WorkloadKind::Tpcc,
-    ] {
-        let mut times = Vec::new();
-        let mut cfs_cs_fraction = 0.0;
-        for policy in [
-            SchedPolicy::RoundRobin,
-            SchedPolicy::Random,
-            SchedPolicy::Cfs,
-        ] {
+    ];
+    let policies = [
+        SchedPolicy::RoundRobin,
+        SchedPolicy::Random,
+        SchedPolicy::Cfs,
+    ];
+    let mut runs = Vec::new();
+    for w in workloads {
+        for policy in policies {
             let mut cfg = scale.apply(SimConfig::default().with_variant(VariantKind::SkyByteFull));
             cfg.sched_policy = policy;
-            let r = Simulation::with_config(cfg, w, scale).run();
-            if policy == SchedPolicy::Cfs {
-                cfs_cs_fraction = r.boundedness.context_switch_fraction();
-            }
-            times.push(r.exec_time.as_nanos() as f64);
+            runs.push(RunRequest::with_config(cfg, w, scale));
         }
+    }
+    let results = runner.run_all(&runs);
+    for (w, chunk) in workloads.iter().zip(results.chunks(policies.len())) {
+        let times: Vec<f64> = chunk
+            .iter()
+            .map(|r| r.exec_time.as_nanos() as f64)
+            .collect();
+        let cfs_cs_fraction = chunk[2].boundedness.context_switch_fraction();
         let baseline = times[0];
         t.push(
             w.name(),
@@ -275,7 +315,7 @@ pub fn fig10_sched_policies(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 14: the main ablation — execution time of every SkyByte variant
 /// normalised to Base-CSSD (lower is better), with a geometric-mean row.
-pub fn fig14_main_ablation(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig14_main_ablation(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let variants = VariantKind::MAIN_ABLATION;
     let names: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
     let col_refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -284,18 +324,22 @@ pub fn fig14_main_ablation(scale: &ExperimentScale) -> ExperimentTable {
         "Execution time normalised to Base-CSSD (lower is better)",
         &col_refs,
     );
-    let mut per_variant_ratios: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let base = run(VariantKind::BaseCssd, w, scale);
+        for &v in &variants {
+            runs.push(req(v, w, scale));
+        }
+    }
+    let results = runner.run_all(&runs);
+    let mut per_variant_ratios: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for (w, chunk) in ALL_WORKLOADS.iter().zip(results.chunks(variants.len())) {
+        // MAIN_ABLATION[0] is Base-CSSD, the normalisation baseline.
+        let base = &chunk[0];
         let mut row = Vec::new();
-        for (i, v) in variants.iter().enumerate() {
-            let r = if *v == VariantKind::BaseCssd {
-                base.normalized_exec_time(&base)
-            } else {
-                run(*v, w, scale).normalized_exec_time(&base)
-            };
-            per_variant_ratios[i].push(r);
-            row.push(r);
+        for (i, r) in chunk.iter().enumerate() {
+            let ratio = r.normalized_exec_time(base);
+            per_variant_ratios[i].push(ratio);
+            row.push(ratio);
         }
         t.push(w.name(), row);
     }
@@ -311,7 +355,7 @@ pub fn fig14_main_ablation(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 15: throughput and SSD bandwidth utilisation of SkyByte-Full as the
 /// thread count grows, normalised to SkyByte-WP with 8 threads.
-pub fn fig15_thread_scaling(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig15_thread_scaling(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let thread_counts = [8u32, 16, 24, 32, 40, 48];
     let mut columns: Vec<String> = thread_counts
         .iter()
@@ -324,16 +368,27 @@ pub fn fig15_thread_scaling(scale: &ExperimentScale) -> ExperimentTable {
         "Throughput vs thread count (normalised to SkyByte-WP, 8 threads)",
         &col_refs,
     );
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let wp8 = run(VariantKind::SkyByteWP, w, scale);
-        let base_tp = wp8.throughput_accesses_per_sec().max(f64::MIN_POSITIVE);
-        let mut row = Vec::new();
-        let mut util_24 = 0.0;
+        runs.push(req(VariantKind::SkyByteWP, w, scale));
         for &threads in &thread_counts {
             let cfg = scale
                 .apply(SimConfig::default().with_variant(VariantKind::SkyByteFull))
                 .with_threads(threads);
-            let r = Simulation::with_config(cfg, w, scale).run();
+            runs.push(RunRequest::with_config(cfg, w, scale));
+        }
+    }
+    let results = runner.run_all(&runs);
+    for (w, chunk) in ALL_WORKLOADS
+        .iter()
+        .zip(results.chunks(1 + thread_counts.len()))
+    {
+        let base_tp = chunk[0]
+            .throughput_accesses_per_sec()
+            .max(f64::MIN_POSITIVE);
+        let mut row = Vec::new();
+        let mut util_24 = 0.0;
+        for (&threads, r) in thread_counts.iter().zip(&chunk[1..]) {
             if threads == 24 {
                 util_24 = r.ssd_bandwidth_utilisation();
             }
@@ -347,14 +402,18 @@ pub fn fig15_thread_scaling(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 16: breakdown of memory requests of SkyByte (host DRAM hit, SSD
 /// DRAM read hit, SSD DRAM read miss, SSD write).
-pub fn fig16_request_breakdown(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig16_request_breakdown(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "figure-16",
         "Memory request breakdown of SkyByte-WP",
         &["host", "ssd_read_hit", "ssd_read_miss", "ssd_write"],
     );
-    for w in ALL_WORKLOADS {
-        let r = run(VariantKind::SkyByteWP, w, scale);
+    let runs: Vec<RunRequest> = ALL_WORKLOADS
+        .iter()
+        .map(|&w| req(VariantKind::SkyByteWP, w, scale))
+        .collect();
+    let results = runner.run_all(&runs);
+    for (w, r) in ALL_WORKLOADS.iter().zip(&results) {
         t.push(
             w.name(),
             vec![
@@ -370,7 +429,7 @@ pub fn fig16_request_breakdown(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 17: average memory access time of each variant, normalised to
 /// Base-CSSD, plus the flash share of the AMAT for the full design.
-pub fn fig17_amat(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig17_amat(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let variants = [
         VariantKind::BaseCssd,
         VariantKind::SkyByteP,
@@ -387,17 +446,18 @@ pub fn fig17_amat(scale: &ExperimentScale) -> ExperimentTable {
         "AMAT normalised to Base-CSSD, and the flash share for SkyByte-Full",
         &col_refs,
     );
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let base = run(VariantKind::BaseCssd, w, scale);
-        let base_amat = base.amat.amat().as_nanos().max(1) as f64;
+        for &v in &variants {
+            runs.push(req(v, w, scale));
+        }
+    }
+    let results = runner.run_all(&runs);
+    for (w, chunk) in ALL_WORKLOADS.iter().zip(results.chunks(variants.len())) {
+        let base_amat = chunk[0].amat.amat().as_nanos().max(1) as f64;
         let mut row = Vec::new();
         let mut full_flash_fraction = 0.0;
-        for v in variants {
-            let r = if v == VariantKind::BaseCssd {
-                base.clone()
-            } else {
-                run(v, w, scale)
-            };
+        for (&v, r) in variants.iter().zip(chunk) {
             if v == VariantKind::SkyByteFull {
                 full_flash_fraction = r.amat.fractions().fraction("flash");
             }
@@ -411,7 +471,7 @@ pub fn fig17_amat(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 18: flash write traffic of each variant, normalised to Base-CSSD
 /// (the paper reports a 23.08× average reduction for the full design).
-pub fn fig18_write_traffic(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig18_write_traffic(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let variants = [
         VariantKind::BaseCssd,
         VariantKind::SkyByteP,
@@ -428,19 +488,22 @@ pub fn fig18_write_traffic(scale: &ExperimentScale) -> ExperimentTable {
         "Flash write traffic normalised to Base-CSSD (lower is better)",
         &col_refs,
     );
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let base = run(VariantKind::BaseCssd, w, scale);
-        let base_writes = base.flash_pages_programmed.max(1) as f64;
-        let mut row = Vec::new();
-        for v in variants {
-            let writes = if v == VariantKind::BaseCssd {
-                base.flash_pages_programmed
-            } else {
-                run(v, w, scale).flash_pages_programmed
-            };
-            row.push(writes as f64 / base_writes);
+        for &v in &variants {
+            runs.push(req(v, w, scale));
         }
-        t.push(w.name(), row);
+    }
+    let results = runner.run_all(&runs);
+    for (w, chunk) in ALL_WORKLOADS.iter().zip(results.chunks(variants.len())) {
+        let base_writes = chunk[0].flash_pages_programmed.max(1) as f64;
+        t.push(
+            w.name(),
+            chunk
+                .iter()
+                .map(|r| r.flash_pages_programmed as f64 / base_writes)
+                .collect(),
+        );
     }
     t
 }
@@ -448,7 +511,7 @@ pub fn fig18_write_traffic(scale: &ExperimentScale) -> ExperimentTable {
 /// Figures 19 and 20: sensitivity of SkyByte-Full to the write-log size; the
 /// returned table carries both normalised execution time and normalised
 /// flash write traffic per size.
-pub fn fig19_20_write_log_sweep(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig19_20_write_log_sweep(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     // Sizes expressed as fractions of the (scaled) total SSD DRAM, mirroring
     // the paper's 0.5 MB – 256 MB sweep against 512 MB of SSD DRAM.
     let total = scale.ssd_data_cache_bytes + scale.write_log_bytes;
@@ -469,15 +532,23 @@ pub fn fig19_20_write_log_sweep(scale: &ExperimentScale) -> ExperimentTable {
         "Write-log size sweep: normalised execution time and flash write traffic",
         &col_refs,
     );
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let mut times = Vec::new();
-        let mut traffic = Vec::new();
         for &log in &log_sizes {
             let sweep_scale = scale.with_ssd_dram(total - log, log);
-            let r = run(VariantKind::SkyByteFull, w, &sweep_scale);
-            times.push(r.exec_time.as_nanos() as f64);
-            traffic.push(r.flash_pages_programmed as f64);
+            runs.push(req(VariantKind::SkyByteFull, w, &sweep_scale));
         }
+    }
+    let results = runner.run_all(&runs);
+    for (w, chunk) in ALL_WORKLOADS.iter().zip(results.chunks(log_sizes.len())) {
+        let times: Vec<f64> = chunk
+            .iter()
+            .map(|r| r.exec_time.as_nanos() as f64)
+            .collect();
+        let traffic: Vec<f64> = chunk
+            .iter()
+            .map(|r| r.flash_pages_programmed as f64)
+            .collect();
         let t0 = times.last().copied().unwrap_or(1.0).max(1.0);
         let w0 = traffic.last().copied().unwrap_or(1.0).max(1.0);
         let mut row: Vec<f64> = times.iter().map(|x| x / t0).collect();
@@ -489,7 +560,7 @@ pub fn fig19_20_write_log_sweep(scale: &ExperimentScale) -> ExperimentTable {
 
 /// Figure 21: sensitivity to the SSD DRAM cache size (0.125×–2× the default),
 /// for the main variants, normalised to SkyByte-Full at the default size.
-pub fn fig21_dram_size_sweep(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig21_dram_size_sweep(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let factors = [0.125f64, 0.25, 0.5, 1.0, 2.0];
     let variants = [
         VariantKind::BaseCssd,
@@ -511,11 +582,11 @@ pub fn fig21_dram_size_sweep(scale: &ExperimentScale) -> ExperimentTable {
         &col_refs,
     );
     let total_default = scale.ssd_data_cache_bytes + scale.write_log_bytes;
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
         // Reference: SkyByte-Full at the default size.
-        let reference = run(VariantKind::SkyByteFull, w, scale).exec_time.as_nanos() as f64;
-        let mut row = Vec::new();
-        for v in variants {
+        runs.push(req(VariantKind::SkyByteFull, w, scale));
+        for &v in &variants {
             for &f in &factors {
                 let total = ((total_default as f64) * f) as u64;
                 // Keep the 1:7 log:cache ratio and scale the host budget 4:1,
@@ -525,18 +596,28 @@ pub fn fig21_dram_size_sweep(scale: &ExperimentScale) -> ExperimentTable {
                 let sweep_scale = scale
                     .with_ssd_dram(cache, log)
                     .with_host_dram(4 * total.max(MIB));
-                let r = run(v, w, &sweep_scale);
-                row.push(r.exec_time.as_nanos() as f64 / reference.max(1.0));
+                runs.push(req(v, w, &sweep_scale));
             }
         }
-        t.push(w.name(), row);
+    }
+    let results = runner.run_all(&runs);
+    let per_workload = 1 + variants.len() * factors.len();
+    for (w, chunk) in ALL_WORKLOADS.iter().zip(results.chunks(per_workload)) {
+        let reference = chunk[0].exec_time.as_nanos() as f64;
+        t.push(
+            w.name(),
+            chunk[1..]
+                .iter()
+                .map(|r| r.exec_time.as_nanos() as f64 / reference.max(1.0))
+                .collect(),
+        );
     }
     t
 }
 
 /// Figure 22: sensitivity to the flash technology (Table IV), with the
 /// thread count of SkyByte-Full varied, normalised to SkyByte-P on ULL.
-pub fn fig22_flash_latency_sweep(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig22_flash_latency_sweep(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let kinds = NandKind::ALL;
     let configs: Vec<(String, VariantKind, u32)> = vec![
         ("SkyByte-P".into(), VariantKind::SkyByteP, 8),
@@ -558,30 +639,36 @@ pub fn fig22_flash_latency_sweep(scale: &ExperimentScale) -> ExperimentTable {
         "Execution time vs flash technology (normalised to SkyByte-P on ULL)",
         &col_refs,
     );
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let mut row = Vec::new();
-        let mut reference = 0.0;
         for kind in kinds {
-            for (i, (_, variant, threads)) in configs.iter().enumerate() {
+            for (_, variant, threads) in &configs {
                 let cfg = scale
                     .apply(SimConfig::default().with_variant(*variant).with_nand(kind))
                     .with_threads(*threads);
-                let r = Simulation::with_config(cfg, w, scale).run();
-                let time = r.exec_time.as_nanos() as f64;
-                if kind == NandKind::Ull && i == 0 {
-                    reference = time.max(1.0);
-                }
-                row.push(time / reference.max(1.0));
+                runs.push(RunRequest::with_config(cfg, w, scale));
             }
         }
-        t.push(w.name(), row);
+    }
+    let results = runner.run_all(&runs);
+    let per_workload = kinds.len() * configs.len();
+    for (w, chunk) in ALL_WORKLOADS.iter().zip(results.chunks(per_workload)) {
+        // The first run of the chunk is SkyByte-P on ULL, the reference.
+        let reference = (chunk[0].exec_time.as_nanos() as f64).max(1.0);
+        t.push(
+            w.name(),
+            chunk
+                .iter()
+                .map(|r| r.exec_time.as_nanos() as f64 / reference)
+                .collect(),
+        );
     }
     t
 }
 
 /// Figure 23: comparison of page-migration mechanisms, normalised to
 /// SkyByte-C, with a geometric-mean row.
-pub fn fig23_migration_mechanisms(scale: &ExperimentScale) -> ExperimentTable {
+pub fn fig23_migration_mechanisms(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let variants = VariantKind::MIGRATION_COMPARISON;
     let names: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
     let col_refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -590,15 +677,23 @@ pub fn fig23_migration_mechanisms(scale: &ExperimentScale) -> ExperimentTable {
         "Page-migration mechanisms: execution time normalised to SkyByte-C",
         &col_refs,
     );
-    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut runs = Vec::new();
     for w in ALL_WORKLOADS {
-        let reference = run(VariantKind::SkyByteC, w, scale);
+        for &v in &variants {
+            runs.push(req(v, w, scale));
+        }
+    }
+    let results = runner.run_all(&runs);
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for (w, chunk) in ALL_WORKLOADS.iter().zip(results.chunks(variants.len())) {
+        // MIGRATION_COMPARISON[0] is SkyByte-C, the normalisation reference.
+        let reference = &chunk[0];
         let mut row = Vec::new();
-        for (i, v) in variants.iter().enumerate() {
-            let ratio = if *v == VariantKind::SkyByteC {
+        for (i, r) in chunk.iter().enumerate() {
+            let ratio = if i == 0 {
                 1.0
             } else {
-                run(*v, w, scale).normalized_exec_time(&reference)
+                r.normalized_exec_time(reference)
             };
             per_variant[i].push(ratio);
             row.push(ratio);
@@ -647,6 +742,11 @@ pub fn table2_parameters() -> ExperimentTable {
         vec![cfg.cpu.llc.size_bytes as f64 / MIB as f64],
     );
     t.push("llc.mshrs", vec![cfg.cpu.llc.mshrs as f64]);
+    t.push("tlb.entries", vec![cfg.cpu.tlb.entries as f64]);
+    t.push(
+        "tlb.miss_ns",
+        vec![cfg.cpu.tlb.miss_latency.as_nanos() as f64],
+    );
     t.push(
         "ssd.capacity_gib",
         vec![cfg.ssd.geometry.total_bytes() as f64 / (1u64 << 30) as f64],
@@ -690,14 +790,18 @@ pub fn table2_parameters() -> ExperimentTable {
 }
 
 /// Table III: average flash read latency (µs) observed by SkyByte-WP.
-pub fn table3_flash_read_latency(scale: &ExperimentScale) -> ExperimentTable {
+pub fn table3_flash_read_latency(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "table-3",
         "Average flash read latency of SkyByte-WP (us)",
         &["avg_flash_read_us"],
     );
-    for w in ALL_WORKLOADS {
-        let r = run(VariantKind::SkyByteWP, w, scale);
+    let runs: Vec<RunRequest> = ALL_WORKLOADS
+        .iter()
+        .map(|&w| req(VariantKind::SkyByteWP, w, scale))
+        .collect();
+    let results = runner.run_all(&runs);
+    for (w, r) in ALL_WORKLOADS.iter().zip(&results) {
         t.push(w.name(), vec![r.avg_flash_read_latency.as_micros_f64()]);
     }
     t
@@ -733,9 +837,13 @@ mod tests {
         ExperimentScale::tiny().with_accesses_per_thread(300)
     }
 
+    fn runner() -> Runner {
+        Runner::new(2)
+    }
+
     #[test]
     fn fig02_shows_cssd_slowdown() {
-        let t = fig02_dram_vs_cssd(&tiny());
+        let t = fig02_dram_vs_cssd(&runner(), &tiny());
         assert_eq!(t.rows.len(), 7);
         for (workload, values) in &t.rows {
             assert_eq!(values[0], 1.0);
@@ -749,7 +857,7 @@ mod tests {
 
     #[test]
     fn fig04_cssd_is_more_memory_bound() {
-        let t = fig04_boundedness(&tiny());
+        let t = fig04_boundedness(&runner(), &tiny());
         for (workload, values) in &t.rows {
             assert!(
                 values[1] >= values[0] - 0.05,
@@ -776,7 +884,8 @@ mod tests {
 
     #[test]
     fn fig14_full_beats_base_on_geo_mean() {
-        let t = fig14_main_ablation(&tiny());
+        let r = runner();
+        let t = fig14_main_ablation(&r, &tiny());
         assert_eq!(t.rows.len(), 8); // 7 workloads + geo.mean
         let full = t.value("geo.mean", "SkyByte-Full").unwrap();
         let base = t.value("geo.mean", "Base-CSSD").unwrap();
@@ -784,11 +893,17 @@ mod tests {
         assert!((base - 1.0).abs() < 1e-9);
         assert!(full < base, "SkyByte-Full ({full}) must beat Base-CSSD");
         assert!(dram <= full, "DRAM-Only must be the best");
+        // One unique run per (workload, variant) pair — the Base-CSSD
+        // baseline is not re-simulated for the normalisation.
+        assert_eq!(
+            r.runs_executed(),
+            (ALL_WORKLOADS.len() * VariantKind::MAIN_ABLATION.len()) as u64
+        );
     }
 
     #[test]
     fn fig18_write_log_variants_reduce_traffic() {
-        let t = fig18_write_traffic(&tiny());
+        let t = fig18_write_traffic(&runner(), &tiny());
         for (workload, _) in &t.rows {
             let base = t.value(workload, "Base-CSSD").unwrap();
             let w = t.value(workload, "SkyByte-W").unwrap();
@@ -802,7 +917,7 @@ mod tests {
 
     #[test]
     fn fig16_fractions_sum_to_one() {
-        let t = fig16_request_breakdown(&tiny());
+        let t = fig16_request_breakdown(&runner(), &tiny());
         for (workload, values) in &t.rows {
             let sum: f64 = values.iter().sum();
             assert!(
@@ -821,6 +936,8 @@ mod tests {
         let t2 = table2_parameters();
         assert!((t2.value("flash.read_us", "value").unwrap() - 3.0).abs() < 1e-9);
         assert!((t2.value("ssd.capacity_gib", "value").unwrap() - 128.0).abs() < 1e-9);
+        assert!((t2.value("tlb.entries", "value").unwrap() - 1536.0).abs() < 1e-9);
+        assert!((t2.value("tlb.miss_ns", "value").unwrap() - 30.0).abs() < 1e-9);
 
         let t4 = table4_nand_parameters();
         assert_eq!(t4.rows.len(), 4);

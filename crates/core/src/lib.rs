@@ -41,6 +41,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod migration;
 pub mod report;
+pub mod runner;
 pub mod scale;
 pub mod thread_exec;
 
@@ -48,5 +49,6 @@ pub use engine::Simulation;
 pub use metrics::{AmatBreakdown, RequestBreakdown, SimResult};
 pub use migration::MigrationEngine;
 pub use report::{render_figure, render_table};
+pub use runner::{RunRequest, Runner};
 pub use scale::ExperimentScale;
 pub use thread_exec::ThreadExecutor;

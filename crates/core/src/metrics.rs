@@ -150,6 +150,14 @@ pub struct SimResult {
     pub flash_channels: u32,
     /// GC campaigns run by the FTL.
     pub gc_campaigns: u64,
+    /// SSD accesses issued over the CXL port, including squashed
+    /// (context-switched) accesses that are excluded from [`Self::requests`].
+    pub ssd_accesses: u64,
+    /// Invocations of the background page-migration policy.
+    pub migration_runs: u64,
+    /// True when the run hit the engine's step limit before every thread
+    /// finished — the metrics then describe a truncated execution.
+    pub truncated: bool,
 }
 
 impl SimResult {
@@ -255,6 +263,9 @@ mod tests {
             flash_busy_time: Nanos::new(exec_ns / 2),
             flash_channels: 4,
             gc_campaigns: 0,
+            ssd_accesses: 90,
+            migration_runs: 0,
+            truncated: false,
         }
     }
 

@@ -27,6 +27,8 @@ use skybyte_types::{Lpa, MigrationPolicyKind, Nanos, PageNumber, SimConfig, PAGE
 /// Counters of migration activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MigrationStats {
+    /// Invocations of the background promotion policy ([`MigrationEngine::run`]).
+    pub runs: u64,
     /// Pages promoted from the SSD to host DRAM.
     pub promotions: u64,
     /// Pages evicted from host DRAM back to the SSD.
@@ -117,6 +119,7 @@ impl MigrationEngine {
     /// Runs the background promotion policy once: picks at most one candidate
     /// and migrates it. Returns the promoted page, if any.
     pub fn run(&mut self, now: Nanos, ctx: &mut MigrationContext<'_>) -> Option<Lpa> {
+        self.stats.runs += 1;
         let candidate = match self.policy {
             MigrationPolicyKind::Adaptive => ctx.ssd.promotion_candidate(),
             MigrationPolicyKind::Tpp => {

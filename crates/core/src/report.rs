@@ -1,6 +1,7 @@
 //! Plain-text rendering of the regenerated figures and tables.
 
 use crate::experiments::{self, ExperimentTable};
+use crate::runner::Runner;
 use crate::scale::ExperimentScale;
 use std::fmt::Write as _;
 
@@ -40,7 +41,9 @@ pub fn render(table: &ExperimentTable) -> String {
     out
 }
 
-/// Regenerates and renders one figure of the paper by number.
+/// Regenerates and renders one figure of the paper by number, executing the
+/// required simulations on `runner` (sharing its memo table with every other
+/// figure rendered through the same runner).
 ///
 /// Supported figures: 2, 3, 4, 5, 6, 9, 10, 14, 15, 16, 17, 18, 19, 20, 21,
 /// 22 and 23 (the remaining figures are architecture diagrams with no data).
@@ -48,24 +51,24 @@ pub fn render(table: &ExperimentTable) -> String {
 /// # Panics
 ///
 /// Panics if the figure number has no data series in the paper.
-pub fn render_figure(figure: u32, scale: &ExperimentScale) -> String {
+pub fn render_figure(runner: &Runner, figure: u32, scale: &ExperimentScale) -> String {
     let table = match figure {
-        2 => experiments::fig02_dram_vs_cssd(scale),
-        3 => experiments::fig03_latency_distribution(scale),
-        4 => experiments::fig04_boundedness(scale),
+        2 => experiments::fig02_dram_vs_cssd(runner, scale),
+        3 => experiments::fig03_latency_distribution(runner, scale),
+        4 => experiments::fig04_boundedness(runner, scale),
         5 => experiments::fig05_06_locality_cdf(scale, false),
         6 => experiments::fig05_06_locality_cdf(scale, true),
-        9 => experiments::fig09_threshold_sweep(scale),
-        10 => experiments::fig10_sched_policies(scale),
-        14 => experiments::fig14_main_ablation(scale),
-        15 => experiments::fig15_thread_scaling(scale),
-        16 => experiments::fig16_request_breakdown(scale),
-        17 => experiments::fig17_amat(scale),
-        18 => experiments::fig18_write_traffic(scale),
-        19 | 20 => experiments::fig19_20_write_log_sweep(scale),
-        21 => experiments::fig21_dram_size_sweep(scale),
-        22 => experiments::fig22_flash_latency_sweep(scale),
-        23 => experiments::fig23_migration_mechanisms(scale),
+        9 => experiments::fig09_threshold_sweep(runner, scale),
+        10 => experiments::fig10_sched_policies(runner, scale),
+        14 => experiments::fig14_main_ablation(runner, scale),
+        15 => experiments::fig15_thread_scaling(runner, scale),
+        16 => experiments::fig16_request_breakdown(runner, scale),
+        17 => experiments::fig17_amat(runner, scale),
+        18 => experiments::fig18_write_traffic(runner, scale),
+        19 | 20 => experiments::fig19_20_write_log_sweep(runner, scale),
+        21 => experiments::fig21_dram_size_sweep(runner, scale),
+        22 => experiments::fig22_flash_latency_sweep(runner, scale),
+        23 => experiments::fig23_migration_mechanisms(runner, scale),
         other => panic!("figure {other} has no data series (architecture diagram)"),
     };
     render(&table)
@@ -76,11 +79,11 @@ pub fn render_figure(figure: u32, scale: &ExperimentScale) -> String {
 /// # Panics
 ///
 /// Panics if the table number is not 1, 2, 3 or 4.
-pub fn render_table(table: u32, scale: &ExperimentScale) -> String {
+pub fn render_table(runner: &Runner, table: u32, scale: &ExperimentScale) -> String {
     let t = match table {
         1 => experiments::table1_workloads(),
         2 => experiments::table2_parameters(),
-        3 => experiments::table3_flash_read_latency(scale),
+        3 => experiments::table3_flash_read_latency(runner, scale),
         4 => experiments::table4_nand_parameters(),
         other => panic!("table {other} does not exist in the paper"),
     };
@@ -113,19 +116,22 @@ mod tests {
 
     #[test]
     fn tables_1_and_4_render_without_simulation() {
+        let runner = Runner::new(1);
         let scale = crate::scale::ExperimentScale::tiny();
-        let t1 = render_table(1, &scale);
+        let t1 = render_table(&runner, 1, &scale);
         assert!(t1.contains("tpcc"));
-        let t4 = render_table(4, &scale);
+        let t4 = render_table(&runner, 4, &scale);
         assert!(t4.contains("MLC"));
-        let t2 = render_table(2, &scale);
+        let t2 = render_table(&runner, 2, &scale);
         assert!(t2.contains("cs.threshold_us"));
+        assert_eq!(runner.runs_executed(), 0, "tables 1/2/4 simulate nothing");
     }
 
     #[test]
     fn figure_5_renders_quickly() {
+        let runner = Runner::new(1);
         let scale = crate::scale::ExperimentScale::tiny().with_accesses_per_thread(200);
-        let s = render_figure(5, &scale);
+        let s = render_figure(&runner, 5, &scale);
         assert!(s.contains("figure-05"));
         assert!(s.contains("dlrm"));
     }
@@ -134,13 +140,13 @@ mod tests {
     #[should_panic(expected = "architecture diagram")]
     fn unknown_figures_panic() {
         let scale = crate::scale::ExperimentScale::tiny();
-        let _ = render_figure(7, &scale);
+        let _ = render_figure(&Runner::new(1), 7, &scale);
     }
 
     #[test]
     #[should_panic(expected = "does not exist")]
     fn unknown_tables_panic() {
         let scale = crate::scale::ExperimentScale::tiny();
-        let _ = render_table(9, &scale);
+        let _ = render_table(&Runner::new(1), 9, &scale);
     }
 }

@@ -1,0 +1,381 @@
+//! Parallel, memoizing execution of simulation runs.
+//!
+//! The experiment harness ([`crate::experiments`]) regenerates ~20 tables and
+//! figures, each of which needs tens to hundreds of independent
+//! [`Simulation`] runs, and several figures share the same baselines (every
+//! normalised figure re-needs the Base-CSSD run of each workload).
+//! [`Simulation::run`] takes `&self`, so the runs are embarrassingly
+//! parallel. The [`Runner`] executes batches of [`RunRequest`]s on a scoped
+//! worker pool ([`std::thread::scope`]) and memoizes each unique
+//! (config, workload, scale) triple, so a given simulation is executed
+//! exactly once per harness invocation no matter how many figures ask for it.
+//!
+//! Because every simulation is deterministic, the runner's output is
+//! bit-identical to the sequential path regardless of the number of worker
+//! threads — `tests/experiment_runner.rs` locks this equivalence.
+
+use crate::engine::Simulation;
+use crate::metrics::SimResult;
+use crate::scale::ExperimentScale;
+use skybyte_types::{SimConfig, VariantKind};
+use skybyte_workloads::WorkloadKind;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One fully specified simulation run, identified by a deterministic
+/// fingerprint of its configuration, workload and scale.
+///
+/// Two requests with equal fingerprints describe byte-for-byte identical
+/// simulations, so the [`Runner`] serves the second one from its memo table.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    sim: Simulation,
+    fingerprint: String,
+}
+
+impl RunRequest {
+    /// A request for `variant` on `workload` at `scale`, mirroring
+    /// [`Simulation::build`].
+    pub fn build(variant: VariantKind, workload: WorkloadKind, scale: &ExperimentScale) -> Self {
+        Self::from_simulation(Simulation::build(variant, workload, scale))
+    }
+
+    /// A request with an explicit configuration (for sensitivity sweeps),
+    /// mirroring [`Simulation::with_config`].
+    pub fn with_config(cfg: SimConfig, workload: WorkloadKind, scale: &ExperimentScale) -> Self {
+        Self::from_simulation(Simulation::with_config(cfg, workload, scale))
+    }
+
+    /// Wraps an already-built simulation.
+    pub fn from_simulation(sim: Simulation) -> Self {
+        // The debug representation covers every field of the configuration,
+        // workload and scale, and is deterministic — exactly what a memo key
+        // needs within one harness invocation.
+        let fingerprint = format!("{sim:?}");
+        RunRequest { sim, fingerprint }
+    }
+
+    /// The deterministic memoization key of this request.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The simulation this request will run.
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+}
+
+/// Number of worker threads the host offers the harness.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A memoizing simulation runner with a fixed-size scoped worker pool.
+///
+/// With `jobs == 1` the runner executes every pending request inline on the
+/// calling thread (the sequential path); with `jobs > 1` pending requests are
+/// drained from a shared queue by scoped worker threads. Either way each
+/// unique fingerprint is simulated at most once and the cached
+/// [`SimResult`]s are shared via [`Arc`].
+///
+/// # Example
+///
+/// ```
+/// use skybyte_sim::runner::{RunRequest, Runner};
+/// use skybyte_sim::ExperimentScale;
+/// use skybyte_types::VariantKind;
+/// use skybyte_workloads::WorkloadKind;
+///
+/// let scale = ExperimentScale::tiny().with_accesses_per_thread(50);
+/// let runner = Runner::new(2);
+/// let req = RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale);
+/// let a = runner.run(&req);
+/// let b = runner.run(&req); // memo hit: no second simulation
+/// assert_eq!(runner.runs_executed(), 1);
+/// assert_eq!(a.exec_time, b.exec_time);
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    jobs: usize,
+    state: Mutex<MemoState>,
+    /// Signalled whenever a run completes, waking callers blocked on a
+    /// fingerprint claimed by a concurrent `run_all`.
+    finished: Condvar,
+    runs_executed: AtomicU64,
+    truncated_runs: AtomicU64,
+}
+
+/// Memoized results plus the fingerprints currently being simulated, so that
+/// concurrent callers never execute the same run twice.
+#[derive(Debug, Default)]
+struct MemoState {
+    done: HashMap<String, Arc<SimResult>>,
+    in_flight: HashSet<String>,
+}
+
+impl Runner {
+    /// Creates a runner with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            state: Mutex::new(MemoState::default()),
+            finished: Condvar::new(),
+            runs_executed: AtomicU64::new(0),
+            truncated_runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a runner sized to the host's available parallelism.
+    pub fn with_default_parallelism() -> Self {
+        Self::new(default_parallelism())
+    }
+
+    /// The worker-pool size.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// How many simulations have actually been executed (memo hits excluded).
+    /// This is the probe the equivalence tests use to assert that shared
+    /// baselines are simulated exactly once.
+    pub fn runs_executed(&self) -> u64 {
+        self.runs_executed.load(Ordering::Relaxed)
+    }
+
+    /// How many executed simulations hit the engine's step limit (their
+    /// [`SimResult::truncated`] flag is set). Harness front ends should warn
+    /// when this is nonzero: truncated metrics describe an unfinished run.
+    pub fn truncated_runs(&self) -> u64 {
+        self.truncated_runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct results currently memoized.
+    pub fn memoized_results(&self) -> usize {
+        self.state.lock().expect("memo table poisoned").done.len()
+    }
+
+    /// Runs (or recalls) a single request.
+    pub fn run(&self, req: &RunRequest) -> Arc<SimResult> {
+        self.run_all(std::slice::from_ref(req))
+            .pop()
+            .expect("one result per request")
+    }
+
+    /// Runs a batch of requests, returning one result per request in order.
+    ///
+    /// Duplicate fingerprints within the batch, fingerprints already
+    /// memoized by earlier batches, and fingerprints claimed by a
+    /// concurrently running batch are simulated only once; the runs this
+    /// call claims are spread across the worker pool, and results claimed
+    /// elsewhere are awaited.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any simulation this call executes (e.g. an
+    /// invalid configuration). A panicking run leaves its fingerprint
+    /// claimed, so the runner must be discarded afterwards — a concurrent
+    /// caller waiting on that fingerprint would block forever.
+    pub fn run_all(&self, reqs: &[RunRequest]) -> Vec<Arc<SimResult>> {
+        // Claim every fingerprint that is neither memoized nor already being
+        // simulated by a concurrent caller.
+        let claimed: Vec<&RunRequest> = {
+            let mut state = self.state.lock().expect("memo table poisoned");
+            reqs.iter()
+                .filter(|r| {
+                    !state.done.contains_key(r.fingerprint())
+                        && state.in_flight.insert(r.fingerprint().to_string())
+                })
+                .collect()
+        };
+        if self.jobs == 1 || claimed.len() == 1 {
+            // Sequential path: run inline, in enumeration order.
+            for req in &claimed {
+                self.execute(req);
+            }
+        } else if !claimed.is_empty() {
+            let next = AtomicUsize::new(0);
+            let workers = self.jobs.min(claimed.len());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(req) = claimed.get(i) else { break };
+                        self.execute(req);
+                    });
+                }
+            });
+        }
+        // Collect in request order, waiting out any fingerprints a
+        // concurrent caller claimed before we could.
+        let mut results = Vec::with_capacity(reqs.len());
+        let mut state = self.state.lock().expect("memo table poisoned");
+        for r in reqs {
+            loop {
+                if let Some(hit) = state.done.get(r.fingerprint()) {
+                    results.push(Arc::clone(hit));
+                    break;
+                }
+                state = self
+                    .finished
+                    .wait(state)
+                    .expect("memo table poisoned while waiting");
+            }
+        }
+        results
+    }
+
+    /// Simulates one claimed request and publishes its result.
+    fn execute(&self, req: &RunRequest) {
+        let result = Arc::new(req.simulation().run());
+        self.runs_executed.fetch_add(1, Ordering::Relaxed);
+        if result.truncated {
+            self.truncated_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut state = self.state.lock().expect("memo table poisoned");
+        state.in_flight.remove(req.fingerprint());
+        state.done.insert(req.fingerprint().to_string(), result);
+        drop(state);
+        self.finished.notify_all();
+    }
+}
+
+impl Default for Runner {
+    /// A runner sized to the host's available parallelism.
+    fn default() -> Self {
+        Self::with_default_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skybyte_types::Nanos;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale::tiny().with_accesses_per_thread(100)
+    }
+
+    #[test]
+    fn fingerprints_distinguish_every_knob() {
+        let scale = tiny();
+        let a = RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale);
+        let b = RunRequest::build(VariantKind::SkyByteFull, WorkloadKind::Ycsb, &scale);
+        let c = RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Bc, &scale);
+        let d = RunRequest::build(
+            VariantKind::BaseCssd,
+            WorkloadKind::Ycsb,
+            &scale.with_accesses_per_thread(101),
+        );
+        let mut cfg = scale.apply(SimConfig::default().with_variant(VariantKind::BaseCssd));
+        cfg.cs_threshold = Nanos::from_micros(99);
+        let e = RunRequest::with_config(cfg, WorkloadKind::Ycsb, &scale);
+        let prints = [&a, &b, &c, &d, &e].map(|r| r.fingerprint().to_string());
+        for (i, x) in prints.iter().enumerate() {
+            for y in &prints[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+        // Identical requests share a fingerprint.
+        let a2 = RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale);
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn run_memoizes_identical_requests() {
+        let scale = tiny();
+        let runner = Runner::new(1);
+        let req = RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale);
+        let first = runner.run(&req);
+        let second = runner.run(&req);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second run must be a memo hit"
+        );
+        assert_eq!(runner.runs_executed(), 1);
+        assert_eq!(runner.memoized_results(), 1);
+    }
+
+    #[test]
+    fn run_all_deduplicates_within_a_batch() {
+        let scale = tiny();
+        let runner = Runner::new(4);
+        let reqs = vec![
+            RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale),
+            RunRequest::build(VariantKind::DramOnly, WorkloadKind::Ycsb, &scale),
+            RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale),
+        ];
+        let results = runner.run_all(&reqs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(runner.runs_executed(), 2, "duplicate must not re-run");
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+        // A follow-up batch reuses the memo across calls.
+        let again = runner.run_all(&reqs);
+        assert_eq!(runner.runs_executed(), 2);
+        assert!(Arc::ptr_eq(&again[0], &results[0]));
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_results() {
+        let scale = tiny();
+        let workloads = [WorkloadKind::Ycsb, WorkloadKind::Bc, WorkloadKind::Srad];
+        let reqs: Vec<RunRequest> = workloads
+            .iter()
+            .flat_map(|&w| {
+                [
+                    RunRequest::build(VariantKind::BaseCssd, w, &scale),
+                    RunRequest::build(VariantKind::SkyByteFull, w, &scale),
+                ]
+            })
+            .collect();
+        let seq = Runner::new(1).run_all(&reqs);
+        let par = Runner::new(4).run_all(&reqs);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.exec_time, p.exec_time);
+            assert_eq!(s.requests, p.requests);
+            assert_eq!(s.flash_pages_programmed, p.flash_pages_programmed);
+            assert_eq!(s.context_switches, p.context_switches);
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_share_exactly_one_execution() {
+        let scale = tiny();
+        let runner = Runner::new(2);
+        let reqs: Vec<RunRequest> = [WorkloadKind::Ycsb, WorkloadKind::Bc, WorkloadKind::Srad]
+            .iter()
+            .map(|&w| RunRequest::build(VariantKind::BaseCssd, w, &scale))
+            .collect();
+        // Four threads race the same batch through one shared runner: the
+        // in-flight claims must keep each unique run at exactly one
+        // execution, and every caller must still get all three results.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert_eq!(runner.run_all(&reqs).len(), 3);
+                });
+            }
+        });
+        assert_eq!(runner.runs_executed(), 3);
+        assert_eq!(runner.memoized_results(), 3);
+        assert_eq!(runner.truncated_runs(), 0);
+    }
+
+    #[test]
+    fn jobs_are_clamped_to_at_least_one() {
+        assert_eq!(Runner::new(0).jobs(), 1);
+        assert_eq!(Runner::new(7).jobs(), 7);
+        assert!(Runner::default().jobs() >= 1);
+        assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn empty_batches_are_a_no_op() {
+        let runner = Runner::new(2);
+        assert!(runner.run_all(&[]).is_empty());
+        assert_eq!(runner.runs_executed(), 0);
+    }
+}

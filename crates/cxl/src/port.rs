@@ -82,6 +82,14 @@ impl CxlPort {
         self.occupy(now, 0)
     }
 
+    /// Carries a payload-free SSD→host completion (e.g. a write
+    /// acknowledgement) issued at `now`; returns its arrival time at the
+    /// host. Counted as a response, not a request.
+    pub fn deliver_response(&mut self, now: Nanos) -> Nanos {
+        self.stats.responses += 1;
+        self.occupy(now, 0)
+    }
+
     /// Carries one 64-byte cacheline (either direction) at `now`; returns the
     /// time the payload has fully arrived.
     pub fn deliver_cacheline(&mut self, now: Nanos) -> Nanos {
@@ -180,6 +188,16 @@ mod tests {
         let mut port = CxlPort::new(Nanos::new(40), 16 << 30);
         let t = port.deliver_request(Nanos::new(100));
         assert_eq!(t, Nanos::new(140));
+    }
+
+    #[test]
+    fn responses_are_not_counted_as_requests() {
+        let mut port = CxlPort::new(Nanos::new(40), 16 << 30);
+        let t = port.deliver_response(Nanos::new(10));
+        assert_eq!(t, Nanos::new(50));
+        assert_eq!(port.stats().requests, 0);
+        assert_eq!(port.stats().responses, 1);
+        assert_eq!(port.stats().payload_bytes, 0);
     }
 
     #[test]

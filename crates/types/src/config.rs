@@ -56,6 +56,26 @@ impl CacheLevelConfig {
     }
 }
 
+/// Configuration of the data TLB shared by the simulated cores (modelled as
+/// fully associative with LRU replacement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of translation entries (the paper's configuration models a
+    /// 1536-entry second-level dTLB).
+    pub entries: u32,
+    /// Page-walk penalty charged on every TLB miss.
+    pub miss_latency: Nanos,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            entries: 1536,
+            miss_latency: Nanos::new(30),
+        }
+    }
+}
+
 /// Host CPU configuration (Table II, "CPU" block).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CpuConfig {
@@ -72,6 +92,8 @@ pub struct CpuConfig {
     pub l2: CacheLevelConfig,
     /// Shared last-level cache.
     pub llc: CacheLevelConfig,
+    /// Data TLB backing the page-table walks of off-chip accesses.
+    pub tlb: TlbConfig,
     /// Fraction of a thread's issued instructions that are memory operations
     /// reaching the L1 (used to convert between instruction counts and
     /// memory-access counts when deriving MLP from the ROB size).
@@ -105,6 +127,7 @@ impl Default for CpuConfig {
                 mshrs: 1024,
                 hit_latency: Nanos::new(12),
             },
+            tlb: TlbConfig::default(),
             mem_op_fraction: 0.3,
             base_ipc: 2.0,
         }
@@ -778,6 +801,15 @@ impl SimConfig {
         self
     }
 
+    /// Sets the TLB geometry (entry count and per-miss walk penalty).
+    pub fn with_tlb(mut self, entries: u32, miss_latency: Nanos) -> Self {
+        self.cpu.tlb = TlbConfig {
+            entries,
+            miss_latency,
+        };
+        self
+    }
+
     /// Checks internal consistency of the configuration.
     ///
     /// # Errors
@@ -814,6 +846,9 @@ impl SimConfig {
                     "cache level {name} smaller than one set"
                 )));
             }
+        }
+        if self.cpu.tlb.entries == 0 {
+            return Err(ConfigError::new("cpu.tlb.entries must be at least 1"));
         }
         if self.ssd.geometry.total_pages() == 0 {
             return Err(ConfigError::new("ssd geometry has zero pages"));
@@ -871,6 +906,8 @@ mod tests {
         assert_eq!(cfg.cs_threshold, Nanos::from_micros(2));
         assert_eq!(cfg.context_switch_overhead, Nanos::from_micros(2));
         assert_eq!(cfg.sched_policy, SchedPolicy::Cfs);
+        assert_eq!(cfg.cpu.tlb.entries, 1536);
+        assert_eq!(cfg.cpu.tlb.miss_latency, Nanos::new(30));
         cfg.validate().unwrap();
     }
 
@@ -940,7 +977,8 @@ mod tests {
             .with_ssd_cache_size(128 * MIB)
             .with_write_log_size(8 * MIB)
             .with_host_dram_size(GIB)
-            .with_nand(NandKind::Slc);
+            .with_nand(NandKind::Slc)
+            .with_tlb(64, Nanos::new(120));
         assert_eq!(cfg.threads, 16);
         assert_eq!(cfg.cpu.cores, 4);
         assert_eq!(cfg.cs_threshold, Nanos::from_micros(10));
@@ -950,6 +988,8 @@ mod tests {
         assert_eq!(cfg.host_dram.promotion_capacity_bytes, GIB);
         assert_eq!(cfg.ssd.nand_kind, NandKind::Slc);
         assert_eq!(cfg.ssd.flash.read_latency, Nanos::from_micros(25));
+        assert_eq!(cfg.cpu.tlb.entries, 64);
+        assert_eq!(cfg.cpu.tlb.miss_latency, Nanos::new(120));
         cfg.validate().unwrap();
     }
 
@@ -979,6 +1019,10 @@ mod tests {
 
         let mut cfg = SimConfig::default();
         cfg.cpu.mem_op_fraction = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::default();
+        cfg.cpu.tlb.entries = 0;
         assert!(cfg.validate().is_err());
     }
 

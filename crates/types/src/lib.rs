@@ -52,7 +52,7 @@ pub mod prelude {
     pub use crate::config::{
         CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
         MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,
-        SsdDramConfig, SsdGeometry, VariantKind,
+        SsdDramConfig, SsdGeometry, TlbConfig, VariantKind,
     };
     pub use crate::error::ConfigError;
     pub use crate::stats::{Counter, LatencyHistogram, RatioBreakdown};
@@ -67,7 +67,7 @@ pub use addr::{
 pub use config::{
     CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
     MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,
-    SsdDramConfig, SsdGeometry, VariantKind, GIB, KIB, MIB,
+    SsdDramConfig, SsdGeometry, TlbConfig, VariantKind, GIB, KIB, MIB,
 };
 pub use error::ConfigError;
 pub use stats::{Counter, LatencyHistogram, RatioBreakdown};

@@ -17,6 +17,10 @@ fn default_config_matches_table_2() {
     assert_eq!(cfg.host_dram.timing.access_latency, Nanos::new(70));
     assert_eq!(cfg.host_dram.promotion_capacity_bytes, 2 * GIB);
 
+    // Data TLB: 1536 entries, 30 ns page-walk penalty per miss.
+    assert_eq!(cfg.cpu.tlb.entries, 1536);
+    assert_eq!(cfg.cpu.tlb.miss_latency, Nanos::new(30));
+
     // CXL-SSD interface: 40 ns protocol latency per crossing.
     assert_eq!(cfg.ssd.cxl_protocol_latency, Nanos::new(40));
 
