@@ -5,18 +5,27 @@
 //! cargo run --release -p skybyte-bench --bin figures -- --all
 //! cargo run --release -p skybyte-bench --bin figures -- --fig 14 --scale bench
 //! cargo run --release -p skybyte-bench --bin figures -- --all --jobs 8
+//! cargo run --release -p skybyte-bench --bin figures -- --all --out results/
+//! cargo run --release -p skybyte-bench --bin figures -- --fig 14 --record-dir traces/
+//! cargo run --release -p skybyte-bench --bin figures -- --fig 14 --replay-dir traces/
 //! ```
 //!
 //! All simulations of one invocation run on a shared parallel, memoizing
 //! runner (`--jobs N` workers, defaulting to the host's available
 //! parallelism), so baselines needed by several figures are simulated once.
+//! `--out DIR` additionally writes each regenerated table as `DIR/<id>.csv`
+//! for plotting. `--record-dir DIR` tees every simulation's consumed
+//! workload stream to an `.sbt` trace in `DIR`; `--replay-dir DIR` drives
+//! the simulations from those traces instead of the live generators —
+//! replayed output is bit-identical to the recorded run.
 //!
 //! Figures 1, 7, 8, 11, 12 and 13 are architecture diagrams without data
 //! series and are therefore not listed.
 
 use skybyte_bench::{figures_scale, harness_runner};
-use skybyte_sim::report::{render_figure, render_table, DATA_FIGURES};
-use skybyte_sim::ExperimentScale;
+use skybyte_sim::report::{figure_table, paper_table, render, DATA_FIGURES};
+use skybyte_sim::{ExperimentScale, TraceDrive};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
@@ -25,6 +34,8 @@ struct Options {
     scale: ExperimentScale,
     all: bool,
     jobs: Option<usize>,
+    out: Option<PathBuf>,
+    drive: TraceDrive,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +45,8 @@ fn parse_args() -> Result<Options, String> {
         scale: ExperimentScale::bench(),
         all: false,
         jobs: None,
+        out: None,
+        drive: TraceDrive::Synthetic,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,10 +89,40 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.jobs = Some(n);
             }
+            "--out" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--out requires a directory")?;
+                opts.out = Some(PathBuf::from(dir));
+            }
+            "--record-dir" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--record-dir requires a directory")?;
+                if opts.drive != TraceDrive::Synthetic {
+                    return Err("--record-dir and --replay-dir are mutually exclusive".into());
+                }
+                opts.drive = TraceDrive::Record {
+                    dir: PathBuf::from(dir),
+                };
+            }
+            "--replay-dir" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--replay-dir requires a directory")?;
+                if opts.drive != TraceDrive::Synthetic {
+                    return Err("--record-dir and --replay-dir are mutually exclusive".into());
+                }
+                opts.drive = TraceDrive::Replay {
+                    dir: PathBuf::from(dir),
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--all] [--fig N]... [--table N]... \
-                     [--scale tiny|bench|default] [--jobs N]"
+                     [--scale tiny|bench|default] [--jobs N] [--out DIR] \
+                     [--record-dir DIR | --replay-dir DIR]\n\n\
+                     --out DIR          also write each regenerated table as DIR/<id>.csv\n\
+                     --record-dir DIR   tee every simulation's workload stream to .sbt traces\n\
+                     --replay-dir DIR   drive the simulations from recorded .sbt traces\n\
+                     (see the `trace` binary for standalone record/replay/stat/mix)"
                 );
                 std::process::exit(0);
             }
@@ -95,6 +138,45 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Regenerates, prints and (optionally) CSV-exports every requested table
+/// and figure; returns the number of CSV files written.
+fn regenerate(
+    runner: &skybyte_sim::Runner,
+    opts: &Options,
+    tables: Vec<u32>,
+    figures: Vec<u32>,
+) -> Result<usize, String> {
+    let mut exported = 0usize;
+    let all = tables
+        .into_iter()
+        .map(|n| (n, true))
+        .chain(figures.into_iter().map(|n| (n, false)));
+    for (n, is_table) in all {
+        let table = if is_table {
+            paper_table(runner, n, &opts.scale)
+        } else {
+            figure_table(runner, n, &opts.scale)
+        };
+        println!("{}", render(&table));
+        if let Some(dir) = &opts.out {
+            let path = dir.join(format!("{}.csv", table.id));
+            std::fs::write(&path, table.to_csv())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            exported += 1;
+        }
+    }
+    Ok(exported)
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("simulation panicked")
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -106,20 +188,58 @@ fn main() -> ExitCode {
     let (figures, tables) = if opts.all {
         (DATA_FIGURES.to_vec(), vec![1, 2, 3, 4])
     } else {
-        (opts.figures, opts.tables)
+        (opts.figures.clone(), opts.tables.clone())
     };
-    let runner = harness_runner(opts.jobs);
-    for t in tables {
-        println!("{}", render_table(&runner, t, &opts.scale));
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "error: cannot create --out directory {}: {e}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
     }
-    for f in figures {
-        println!("{}", render_figure(&runner, f, &opts.scale));
-    }
+    let runner = harness_runner(opts.jobs).with_drive(opts.drive.clone());
+    // Harness panics (a missing trace under --replay-dir, an invalid figure
+    // number) should read as CLI errors, not backtraces: silence the hook,
+    // catch the unwind, and report the payload on the binary's error path.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        regenerate(&runner, &opts, tables, figures)
+    }));
+    std::panic::set_hook(default_hook);
+    let exported = match outcome {
+        Ok(Ok(n)) => n,
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(payload) => {
+            eprintln!("error: {}", panic_message(payload.as_ref()));
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "[figures] {} unique simulations on {} worker thread(s)",
         runner.runs_executed(),
         runner.jobs()
     );
+    match runner.drive() {
+        TraceDrive::Record { dir } => {
+            eprintln!("[figures] recorded workload traces to {}", dir.display());
+        }
+        TraceDrive::Replay { dir } => {
+            eprintln!("[figures] replayed workload traces from {}", dir.display());
+        }
+        TraceDrive::Synthetic => {}
+    }
+    if let Some(dir) = &opts.out {
+        eprintln!(
+            "[figures] wrote {exported} CSV file(s) to {}",
+            dir.display()
+        );
+    }
     if runner.truncated_runs() > 0 {
         eprintln!(
             "[figures] warning: {} simulation(s) hit the engine step limit; \

@@ -1,0 +1,393 @@
+//! The standalone trace toolbox over `.sbt` files.
+//!
+//! ```text
+//! trace record --workload ycsb --out ycsb.sbt [--scale tiny] [--threads N]
+//!              [--accesses N] [--seed N]
+//! trace replay --trace ycsb.sbt [--variant SkyByte-Full] [--workload ycsb]
+//!              [--scale tiny]
+//! trace stat   --trace ycsb.sbt
+//! trace mix    --out mixed.sbt A.sbt[:WEIGHT] B.sbt[:WEIGHT] ...
+//!              [--mode mix|concat] [--shift-stride BYTES] [--loop N]
+//! ```
+//!
+//! `record` writes the synthetic workload stream the simulator would
+//! consume (without simulating), `replay` drives a full simulation from a
+//! trace (the trace defines footprint, thread count and the amount of
+//! work), `stat` streams the Table I / Figures 5–6 characteristics of a
+//! trace, and `mix` composes new traces out of existing ones — proportional
+//! interleave or concatenation, with optional per-tenant address shifting
+//! and looping.
+
+use skybyte_bench::{figures_scale, variant_from_name};
+use skybyte_sim::{ExperimentScale, SimResult, Simulation};
+use skybyte_trace::{
+    record_to_file, BoxedSource, Concat, LoopN, Mix, Shift, TraceFileSource, TraceHeader,
+    TraceReader, TraceSource, TraceStats, TraceWriter,
+};
+use skybyte_types::{SimConfig, VariantKind};
+use skybyte_workloads::{WorkloadKind, WorkloadSource};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace <record|replay|stat|mix> [options]
+
+  record --workload NAME --out FILE [--scale tiny|bench|default]
+         [--threads N] [--accesses N] [--seed N]
+      Write the synthetic .sbt trace the simulator would consume.
+
+  replay --trace FILE [--variant NAME] [--workload NAME] [--scale ...]
+      Run a full simulation driven by FILE and print its metrics. The
+      trace defines footprint, thread count and the amount of work; the
+      scale defines the device. The workload label defaults to the one
+      named in the trace's provenance header.
+
+  stat --trace FILE
+      Stream the trace once and print footprint / write ratio / per-page
+      cacheline coverage (comparable to Table I and Figures 5-6).
+
+  mix --out FILE INPUT[:WEIGHT]... [--mode mix|concat]
+      [--shift-stride BYTES] [--loop N]
+      Compose INPUTs into a new trace: proportional interleave (mix) or
+      back-to-back (concat); --shift-stride re-bases input i by i*BYTES;
+      --loop repeats each input N times.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "record" => cmd_record(rest),
+        "replay" => cmd_replay(rest),
+        "stat" => cmd_stat(rest),
+        "mix" => cmd_mix(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value following a flag.
+fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|e| format!("invalid {what}: {e}"))
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let mut workload: Option<WorkloadKind> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut scale = ExperimentScale::tiny();
+    let mut threads: Option<u32> = None;
+    let mut accesses: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                let name = value(args, &mut i, "--workload")?;
+                workload = Some(
+                    WorkloadKind::from_name(name)
+                        .ok_or_else(|| format!("unknown workload '{name}'"))?,
+                );
+            }
+            "--out" => out = Some(PathBuf::from(value(args, &mut i, "--out")?)),
+            "--scale" => {
+                let name = value(args, &mut i, "--scale")?;
+                scale = figures_scale(name)
+                    .ok_or_else(|| format!("unknown scale '{name}' (tiny|bench|default)"))?;
+            }
+            "--threads" => {
+                let t = parse_u64(value(args, &mut i, "--threads")?, "thread count")?;
+                if t == 0 || t > u32::MAX as u64 {
+                    return Err("--threads must be between 1 and 2^32-1".into());
+                }
+                threads = Some(t as u32);
+            }
+            "--accesses" => {
+                accesses = Some(parse_u64(
+                    value(args, &mut i, "--accesses")?,
+                    "access count",
+                )?)
+            }
+            "--seed" => seed = Some(parse_u64(value(args, &mut i, "--seed")?, "seed")?),
+            other => return Err(format!("unknown record argument '{other}'")),
+        }
+        i += 1;
+    }
+    let workload = workload.ok_or("record needs --workload")?;
+    let out = out.ok_or("record needs --out")?;
+    if let Some(a) = accesses {
+        scale = scale.with_accesses_per_thread(a);
+    }
+    if let Some(s) = seed {
+        scale.seed = s;
+    }
+    // Mirror the engine's budget arithmetic exactly, so a standalone
+    // recording is interchangeable with a `figures --record-dir` one.
+    let mut cfg = scale.apply(SimConfig::default());
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let sim = Simulation::with_config(cfg.clone(), workload, &scale);
+    let budget = sim.per_thread_budget();
+    let spec = scale.workload_spec(workload);
+    let mut source = WorkloadSource::new(&spec, cfg.threads, scale.seed);
+    let header = TraceHeader {
+        threads: cfg.threads,
+        footprint_bytes: spec.footprint_bytes,
+        seed: scale.seed,
+        source: source.identity(),
+    };
+    let written = record_to_file(&mut source, &out, &header, budget)
+        .map_err(|e| format!("recording failed: {e}"))?;
+    println!(
+        "recorded {written} records ({} thread(s) x {budget}) of {workload} to {}",
+        cfg.threads,
+        out.display()
+    );
+    Ok(())
+}
+
+/// Picks the workload label for a replayed trace: an explicit `--workload`,
+/// else the workload named in the trace's provenance header.
+fn workload_for_replay(
+    explicit: Option<WorkloadKind>,
+    header: &TraceHeader,
+) -> Result<WorkloadKind, String> {
+    if let Some(w) = explicit {
+        return Ok(w);
+    }
+    // Source identities delimit the workload name with colons
+    // ("synthetic:ycsb:fp..."); matching the delimited form keeps file-path
+    // fragments (e.g. "/home/abc/" containing "bc") from mislabelling.
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| header.source.contains(&format!(":{}:", k.name())))
+        .ok_or_else(|| {
+            format!(
+                "cannot infer the workload from the trace's source identity \
+                 ('{}'); pass --workload",
+                header.source
+            )
+        })
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut variant = VariantKind::SkyByteFull;
+    let mut workload: Option<WorkloadKind> = None;
+    let mut scale = ExperimentScale::tiny();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
+            "--variant" => {
+                let name = value(args, &mut i, "--variant")?;
+                variant =
+                    variant_from_name(name).ok_or_else(|| format!("unknown variant '{name}'"))?;
+            }
+            "--workload" => {
+                let name = value(args, &mut i, "--workload")?;
+                workload = Some(
+                    WorkloadKind::from_name(name)
+                        .ok_or_else(|| format!("unknown workload '{name}'"))?,
+                );
+            }
+            "--scale" => {
+                let name = value(args, &mut i, "--scale")?;
+                scale = figures_scale(name)
+                    .ok_or_else(|| format!("unknown scale '{name}' (tiny|bench|default)"))?;
+            }
+            other => return Err(format!("unknown replay argument '{other}'")),
+        }
+        i += 1;
+    }
+    let trace = trace.ok_or("replay needs --trace")?;
+    let header = TraceReader::open(&trace)
+        .map_err(|e| format!("cannot open {}: {e}", trace.display()))?
+        .header()
+        .clone();
+    let workload = workload_for_replay(workload, &header)?;
+    // The trace defines the footprint and thread count; the scale defines
+    // the simulated device around it.
+    let scale = scale.with_footprint(header.footprint_bytes);
+    // Composed/shifted traces can outgrow the chosen device; fail with a
+    // hint instead of letting the FTL run out of capacity mid-simulation.
+    // (Every built-in scale keeps footprint <= flash/2 for GC headroom.)
+    if header.footprint_bytes.saturating_mul(2) > scale.flash_bytes() {
+        return Err(format!(
+            "trace footprint ({} bytes) needs a flash device of at least 2x \
+             that size, but this scale provides {} bytes; pick a larger \
+             --scale (tiny|bench|default)",
+            header.footprint_bytes,
+            scale.flash_bytes()
+        ));
+    }
+    let cfg = scale
+        .apply(SimConfig::default().with_variant(variant))
+        .with_threads(header.threads);
+    let sim = Simulation::with_config(cfg, workload, &scale);
+    let result = sim
+        .run_trace_file(&trace)
+        .map_err(|e| format!("replay failed: {e}"))?;
+    println!("replayed {} as {variant} ({workload})", trace.display());
+    print_summary(&result);
+    Ok(())
+}
+
+fn print_summary(r: &SimResult) {
+    println!("exec time             {}", r.exec_time);
+    println!("instructions          {}", r.instructions);
+    println!(
+        "accesses              {} classified ({} host, {} ssd-hit, {} ssd-miss, {} ssd-write)",
+        r.total_accesses(),
+        r.requests.host,
+        r.requests.ssd_read_hit,
+        r.requests.ssd_read_miss,
+        r.requests.ssd_write
+    );
+    println!("amat                  {}", r.amat.amat());
+    println!("context switches      {}", r.context_switches);
+    println!("pages promoted        {}", r.pages_promoted);
+    println!("flash pages programmed {}", r.flash_pages_programmed);
+    if r.truncated {
+        println!("WARNING: the run hit the engine step limit (truncated)");
+    }
+}
+
+fn cmd_stat(args: &[String]) -> Result<(), String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
+            other => return Err(format!("unknown stat argument '{other}'")),
+        }
+        i += 1;
+    }
+    let trace = trace.ok_or("stat needs --trace")?;
+    let (header, stats) = TraceStats::scan_file(&trace)
+        .map_err(|e| format!("cannot stat {}: {e}", trace.display()))?;
+    print!("{}", stats.render(&header));
+    Ok(())
+}
+
+/// Parses `FILE[:WEIGHT]` (the weight defaults to 1).
+fn parse_input(spec: &str) -> Result<(PathBuf, u64), String> {
+    match spec.rsplit_once(':') {
+        Some((path, weight))
+            if weight.chars().all(|c| c.is_ascii_digit()) && !weight.is_empty() =>
+        {
+            let w = parse_u64(weight, "mix weight")?;
+            if w == 0 {
+                return Err(format!("weight of '{path}' must be positive"));
+            }
+            Ok((PathBuf::from(path), w))
+        }
+        _ => Ok((PathBuf::from(spec), 1)),
+    }
+}
+
+fn open_input(path: &Path) -> Result<TraceFileSource, String> {
+    TraceFileSource::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))
+}
+
+fn cmd_mix(args: &[String]) -> Result<(), String> {
+    let mut out: Option<PathBuf> = None;
+    let mut mode = "mix".to_string();
+    let mut shift_stride: u64 = 0;
+    let mut loop_times: u32 = 1;
+    let mut inputs: Vec<(PathBuf, u64)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out = Some(PathBuf::from(value(args, &mut i, "--out")?)),
+            "--mode" => mode = value(args, &mut i, "--mode")?.to_string(),
+            "--shift-stride" => {
+                shift_stride = parse_u64(value(args, &mut i, "--shift-stride")?, "shift stride")?
+            }
+            "--loop" => {
+                loop_times = parse_u64(value(args, &mut i, "--loop")?, "loop count")? as u32
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown mix argument '{flag}'")),
+            input => inputs.push(parse_input(input)?),
+        }
+        i += 1;
+    }
+    let out = out.ok_or("mix needs --out")?;
+    if inputs.is_empty() {
+        return Err("mix needs at least one input trace".into());
+    }
+    if mode != "mix" && mode != "concat" {
+        return Err(format!("unknown --mode '{mode}' (mix|concat)"));
+    }
+
+    let mut sources: Vec<(BoxedSource, u64)> = Vec::new();
+    let mut threads = 0u32;
+    let mut footprint = 0u64;
+    let mut seed = 0u64;
+    for (idx, (path, weight)) in inputs.iter().enumerate() {
+        let file = open_input(path)?;
+        let header = file.header().clone();
+        let shift = shift_stride * idx as u64;
+        threads = threads.max(header.threads);
+        footprint = footprint.max(header.footprint_bytes.saturating_add(shift));
+        seed ^= header.seed.rotate_left(idx as u32);
+        let mut source: BoxedSource = Box::new(file);
+        if shift > 0 {
+            source = Box::new(Shift::new(source, shift));
+        }
+        if loop_times != 1 {
+            source = Box::new(LoopN::new(source, loop_times));
+        }
+        sources.push((source, *weight));
+    }
+    let mut composite: BoxedSource = if mode == "concat" {
+        Box::new(Concat::new(sources.into_iter().map(|(s, _)| s).collect()))
+    } else {
+        Box::new(Mix::new(sources))
+    };
+    let header = TraceHeader {
+        threads,
+        footprint_bytes: footprint,
+        seed,
+        source: composite.identity(),
+    };
+    let mut writer =
+        TraceWriter::create(&out, &header).map_err(|e| format!("cannot create output: {e}"))?;
+    let mut total = 0u64;
+    for t in 0..threads {
+        while let Some(record) = composite
+            .next_record(t)
+            .map_err(|e| format!("compose failed on thread {t}: {e}"))?
+        {
+            writer
+                .push(t, &record)
+                .map_err(|e| format!("write failed: {e}"))?;
+            total += 1;
+        }
+    }
+    writer.finish().map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "composed {total} records ({threads} thread(s), mode {mode}) into {}",
+        out.display()
+    );
+    Ok(())
+}

@@ -3,9 +3,13 @@
 //! The actual deliverables of this crate are:
 //!
 //! * `cargo run -p skybyte-bench --bin figures [-- --fig N | --table N |
-//!   --all] [--jobs N]` — regenerates the data series of every table and
-//!   figure of the paper's evaluation section on a parallel, memoizing
-//!   [`Runner`] and prints them as plain-text tables;
+//!   --all] [--jobs N] [--out DIR] [--record-dir DIR | --replay-dir DIR]` —
+//!   regenerates the data series of every table and figure of the paper's
+//!   evaluation section on a parallel, memoizing [`Runner`], prints them as
+//!   plain-text tables, optionally exports them as CSV, and can record or
+//!   replay the underlying workload traces;
+//! * `cargo run -p skybyte-bench --bin trace -- <record|replay|stat|mix>` —
+//!   the standalone trace toolbox over `.sbt` files (see `skybyte-trace`);
 //! * `cargo bench -p skybyte-bench` — Criterion benchmarks: one group per
 //!   headline evaluation figure (at a reduced scale so the suite finishes on
 //!   a laptop) plus microbenchmarks of the core data structures (write-log
@@ -17,6 +21,7 @@
 
 use skybyte_sim::runner::default_parallelism;
 use skybyte_sim::{ExperimentScale, Runner};
+use skybyte_types::VariantKind;
 
 /// The scale used by the Criterion figure benchmarks: small enough that one
 /// simulation takes well under a second.
@@ -42,6 +47,14 @@ pub fn harness_runner(jobs: Option<usize>) -> Runner {
     Runner::new(jobs.unwrap_or_else(default_parallelism))
 }
 
+/// Parses a design-variant name as printed by the paper (case-insensitive),
+/// e.g. `"SkyByte-Full"` or `"base-cssd"`.
+pub fn variant_from_name(name: &str) -> Option<VariantKind> {
+    VariantKind::ALL
+        .into_iter()
+        .find(|v| v.to_string().eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +73,14 @@ mod tests {
     fn harness_runner_resolves_jobs() {
         assert_eq!(harness_runner(Some(3)).jobs(), 3);
         assert!(harness_runner(None).jobs() >= 1);
+    }
+
+    #[test]
+    fn variants_resolve_by_paper_name() {
+        for v in VariantKind::ALL {
+            assert_eq!(variant_from_name(&v.to_string()), Some(v));
+            assert_eq!(variant_from_name(&v.to_string().to_lowercase()), Some(v));
+        }
+        assert_eq!(variant_from_name("SkyByte-Turbo"), None);
     }
 }

@@ -18,12 +18,50 @@ use skybyte_cpu::{Boundedness, CoreTimingModel, HostDram};
 use skybyte_cxl::CxlPort;
 use skybyte_os::{BlockReason, PagePlacement, PageTable, Scheduler, Tlb};
 use skybyte_ssd::{ServedBy, SsdController};
+use skybyte_trace::{Record, TraceError, TraceFileSource, TraceHeader, TraceWriter};
 use skybyte_types::{LatencyHistogram, Lpa, Nanos, PageNumber, SimConfig, VariantKind};
-use skybyte_workloads::WorkloadKind;
+use skybyte_workloads::{TraceSource, WorkloadKind, WorkloadSource};
+use std::path::{Path, PathBuf};
 
 /// How often (in SSD accesses, squashed or not) the background migration
 /// policy gets a chance to promote a page.
 const MIGRATION_PERIOD_ACCESSES: u64 = 64;
+
+/// A process-unique token for record temp-file names, so concurrent runner
+/// workers recording the same stream never collide.
+fn next_record_token() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Where a simulation's access streams come from.
+///
+/// The drive is part of the simulation's identity: [`crate::runner`]
+/// fingerprints include it, so a replayed run and its live twin memoize
+/// separately (they produce identical results, but only the replay depends
+/// on the trace directory's contents).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceDrive {
+    /// Generate the synthetic trace live (the default).
+    #[default]
+    Synthetic,
+    /// Generate live **and** tee the consumed stream to
+    /// `dir/<trace file name>` (see [`Simulation::trace_file_name`]).
+    Record {
+        /// Directory the `.sbt` file is written into (created if missing).
+        dir: PathBuf,
+    },
+    /// Replay `dir/<trace file name>` instead of generating.
+    Replay {
+        /// Directory the `.sbt` file is read from.
+        dir: PathBuf,
+    },
+}
 
 /// A fully configured simulation, ready to [`run`](Simulation::run).
 #[derive(Debug, Clone)]
@@ -31,6 +69,7 @@ pub struct Simulation {
     cfg: SimConfig,
     workload: WorkloadKind,
     scale: ExperimentScale,
+    drive: TraceDrive,
 }
 
 impl Simulation {
@@ -43,6 +82,7 @@ impl Simulation {
             cfg,
             workload,
             scale: *scale,
+            drive: TraceDrive::Synthetic,
         }
     }
 
@@ -53,7 +93,20 @@ impl Simulation {
             cfg,
             workload,
             scale: *scale,
+            drive: TraceDrive::Synthetic,
         }
+    }
+
+    /// Returns a copy driven as `drive` (record to / replay from a trace
+    /// directory instead of plain live generation).
+    pub fn with_drive(mut self, drive: TraceDrive) -> Self {
+        self.drive = drive;
+        self
+    }
+
+    /// The trace drive of this simulation.
+    pub fn drive(&self) -> &TraceDrive {
+        &self.drive
     }
 
     /// The simulator configuration.
@@ -71,14 +124,136 @@ impl Simulation {
         self.workload
     }
 
+    /// Work units each thread executes: the total amount of work is fixed
+    /// per workload and scale (`accesses_per_thread` × cores), independent
+    /// of how many threads it is divided among — the paper's traces
+    /// "represent the same section of the program" regardless of the thread
+    /// count (§VI-A).
+    pub fn per_thread_budget(&self) -> u64 {
+        let total_units = self.scale.accesses_per_thread * self.cfg.cpu.cores as u64;
+        (total_units / self.cfg.threads as u64).max(1)
+    }
+
+    /// The canonical `.sbt` file name of this simulation's workload stream.
+    ///
+    /// The name covers everything the stream depends on — workload, scaled
+    /// footprint, thread count, per-thread budget and seed — and nothing it
+    /// does not (the design variant never influences generation), so every
+    /// variant of one ablation shares a single recorded trace.
+    pub fn trace_file_name(&self) -> String {
+        let spec = self.scale.workload_spec(self.workload);
+        format!(
+            "{}-fp{}-t{}-n{}-seed{}.sbt",
+            self.workload.name(),
+            spec.footprint_bytes,
+            self.cfg.threads,
+            self.per_thread_budget(),
+            self.scale.seed
+        )
+    }
+
     /// Runs the simulation to completion and returns its metrics.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid or the trace drive fails
+    /// (missing/corrupt trace file, unwritable record directory); use
+    /// [`try_run`](Self::try_run) to handle trace errors.
     pub fn run(&self) -> SimResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("trace drive failed: {e}"))
+    }
+
+    /// Runs the simulation, materialising the trace source described by the
+    /// drive: live generation, generation teed to disk, or file replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn try_run(&self) -> Result<SimResult, TraceError> {
+        let spec = self.scale.workload_spec(self.workload);
+        let budget = self.per_thread_budget();
+        match &self.drive {
+            TraceDrive::Synthetic => {
+                let mut source = WorkloadSource::new(&spec, self.cfg.threads, self.scale.seed);
+                Ok(self.run_loop(&mut source, budget))
+            }
+            TraceDrive::Record { dir } => {
+                std::fs::create_dir_all(dir)?;
+                let name = self.trace_file_name();
+                let source = WorkloadSource::new(&spec, self.cfg.threads, self.scale.seed);
+                let header = TraceHeader {
+                    threads: self.cfg.threads,
+                    footprint_bytes: spec.footprint_bytes,
+                    seed: self.scale.seed,
+                    source: source.identity(),
+                };
+                // Concurrent runner workers may record the same (workload,
+                // scale) stream for different variants; each writes a unique
+                // temp file whose deterministic content is renamed over the
+                // final name, so the last rename wins harmlessly.
+                let tmp = dir.join(format!(".{name}.{}.tmp", next_record_token()));
+                let writer = TraceWriter::create(&tmp, &header)?;
+                let mut tee = Record::new(source, writer);
+                let result = self.run_loop(&mut tee, budget);
+                tee.finish()?;
+                std::fs::rename(&tmp, dir.join(&name))?;
+                Ok(result)
+            }
+            TraceDrive::Replay { dir } => {
+                let path = dir.join(self.trace_file_name());
+                let mut source = TraceFileSource::open(&path)?;
+                if source.threads() != self.cfg.threads {
+                    return Err(TraceError::ThreadMismatch {
+                        expected: self.cfg.threads,
+                        got: source.threads(),
+                    });
+                }
+                // The trace defines the work; the budget only caps it.
+                Ok(self.run_loop(&mut source, u64::MAX))
+            }
+        }
+    }
+
+    /// Replays an explicit `.sbt` file (ignoring the drive), with the trace
+    /// defining the amount of work. The configuration's thread count must
+    /// match the trace's stream count.
+    pub fn run_trace_file(&self, path: &Path) -> Result<SimResult, TraceError> {
+        let mut source = TraceFileSource::open(path)?;
+        if source.threads() != self.cfg.threads {
+            return Err(TraceError::ThreadMismatch {
+                expected: self.cfg.threads,
+                got: source.threads(),
+            });
+        }
+        Ok(self.run_loop(&mut source, u64::MAX))
+    }
+
+    /// Runs the simulation driven by an arbitrary [`TraceSource`] whose
+    /// stream count matches the configured thread count. Each thread
+    /// executes at most `per_thread_budget` units (pass `u64::MAX` to let
+    /// finite sources define the work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the stream count differs
+    /// from `config().threads`, or the source fails mid-run.
+    pub fn run_with_source(
+        &self,
+        source: &mut dyn TraceSource,
+        per_thread_budget: u64,
+    ) -> SimResult {
+        self.run_loop(source, per_thread_budget)
+    }
+
+    fn run_loop(&self, source: &mut dyn TraceSource, per_thread_budget: u64) -> SimResult {
         let cfg = &self.cfg;
         cfg.validate().expect("invalid simulation configuration");
+        assert_eq!(
+            source.threads(),
+            cfg.threads,
+            "trace source must provide one stream per configured thread"
+        );
         let cores = cfg.cpu.cores as usize;
         let threads = cfg.threads;
         let spec = self.scale.workload_spec(self.workload);
@@ -95,14 +270,8 @@ impl Simulation {
         let mut page_table = PageTable::new();
         let mut tlb = Tlb::new(cfg.cpu.tlb.entries as usize, cfg.cpu.tlb.miss_latency);
         let mut migration = MigrationEngine::new(cfg);
-        // The total amount of work is fixed per workload and scale
-        // (`accesses_per_thread` × cores), independent of how many threads it
-        // is divided among — the paper's traces "represent the same section
-        // of the program" regardless of the thread count (§VI-A).
-        let total_units = self.scale.accesses_per_thread * cfg.cpu.cores as u64;
-        let per_thread_budget = (total_units / threads as u64).max(1);
         let mut execs: Vec<ThreadExecutor> = (0..threads)
-            .map(|t| ThreadExecutor::new(&spec, t, threads, self.scale.seed, per_thread_budget))
+            .map(|t| ThreadExecutor::new(t, per_thread_budget, source))
             .collect();
         for _ in 0..threads {
             sched.spawn();
@@ -163,7 +332,7 @@ impl Simulation {
                 },
             };
 
-            let unit = match execs[tid.0 as usize].next_unit() {
+            let unit = match execs[tid.0 as usize].next_unit(source) {
                 Some(u) => u,
                 None => {
                     sched.finish_thread(tid);
@@ -339,19 +508,7 @@ mod tests {
 
     #[test]
     fn every_variant_completes_on_a_sample_workload() {
-        for variant in [
-            VariantKind::BaseCssd,
-            VariantKind::SkyByteC,
-            VariantKind::SkyByteP,
-            VariantKind::SkyByteW,
-            VariantKind::SkyByteCP,
-            VariantKind::SkyByteWP,
-            VariantKind::SkyByteFull,
-            VariantKind::DramOnly,
-            VariantKind::SkyByteCT,
-            VariantKind::SkyByteWCT,
-            VariantKind::AstriFlashCxl,
-        ] {
+        for variant in VariantKind::ALL {
             let r = run(variant, WorkloadKind::Ycsb);
             assert!(r.exec_time > Nanos::ZERO, "{variant}: zero exec time");
             assert!(r.total_accesses() > 0, "{variant}: no accesses");
@@ -476,6 +633,67 @@ mod tests {
             slow.exec_time,
             fast.exec_time
         );
+    }
+
+    #[test]
+    fn record_then_replay_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "skybyte-engine-record-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let scale = ExperimentScale::tiny().with_accesses_per_thread(120);
+        let sim = Simulation::build(VariantKind::SkyByteFull, WorkloadKind::Tpcc, &scale);
+        let live = sim
+            .clone()
+            .with_drive(TraceDrive::Record { dir: dir.clone() })
+            .run();
+        assert!(dir.join(sim.trace_file_name()).exists());
+        let replayed = sim
+            .clone()
+            .with_drive(TraceDrive::Replay { dir: dir.clone() })
+            .run();
+        assert_eq!(live, replayed, "replay must be bit-identical to live");
+        // Recording is a pure tee: it does not perturb the simulation.
+        assert_eq!(sim.run(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replaying_a_missing_trace_is_a_typed_error() {
+        let scale = ExperimentScale::tiny();
+        let sim = Simulation::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale).with_drive(
+            TraceDrive::Replay {
+                dir: std::path::PathBuf::from("/nonexistent/skybyte-traces"),
+            },
+        );
+        assert!(matches!(
+            sim.try_run(),
+            Err(skybyte_trace::TraceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn trace_file_names_cover_the_stream_inputs_only() {
+        let scale = ExperimentScale::tiny();
+        let a = Simulation::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale);
+        // The variant never influences generation, so variants with the
+        // same thread count share a recorded trace… (SkyByte variants
+        // oversubscribe threads, so they get their own stream per §VI-A)
+        let cfg_b = scale
+            .apply(SimConfig::default().with_variant(VariantKind::SkyByteW))
+            .with_threads(a.config().threads);
+        let b = Simulation::with_config(cfg_b, WorkloadKind::Ycsb, &scale);
+        assert_eq!(a.trace_file_name(), b.trace_file_name());
+        // …while anything the stream depends on gets its own file.
+        let c = Simulation::build(VariantKind::BaseCssd, WorkloadKind::Bc, &scale);
+        assert_ne!(a.trace_file_name(), c.trace_file_name());
+        let d = Simulation::build(
+            VariantKind::BaseCssd,
+            WorkloadKind::Ycsb,
+            &scale.with_accesses_per_thread(scale.accesses_per_thread + 1),
+        );
+        assert_ne!(a.trace_file_name(), d.trace_file_name());
     }
 
     #[test]

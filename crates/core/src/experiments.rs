@@ -69,6 +69,35 @@ impl ExperimentTable {
     pub fn row_labels(&self) -> Vec<&str> {
         self.rows.iter().map(|(l, _)| l.as_str()).collect()
     }
+
+    /// Renders the table as RFC 4180-style CSV: a `label` header column
+    /// followed by one column per series, full float precision (this is the
+    /// plotting export of `figures --out`).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str("label");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&field(c));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&field(label));
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// The seven evaluation workloads of Table I.

@@ -45,10 +45,10 @@ pub mod runner;
 pub mod scale;
 pub mod thread_exec;
 
-pub use engine::Simulation;
+pub use engine::{Simulation, TraceDrive};
 pub use metrics::{AmatBreakdown, RequestBreakdown, SimResult};
 pub use migration::MigrationEngine;
-pub use report::{render_figure, render_table};
+pub use report::{figure_table, paper_table, render_figure, render_table};
 pub use runner::{RunRequest, Runner};
 pub use scale::ExperimentScale;
 pub use thread_exec::ThreadExecutor;

@@ -104,7 +104,11 @@ impl RequestBreakdown {
 }
 
 /// Everything measured by one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field, which is how the trace subsystem's
+/// keystone tests assert that a recorded-then-replayed run is bit-identical
+/// to the live run that recorded it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// The design variant simulated.
     pub variant: VariantKind,

@@ -41,9 +41,9 @@ pub fn render(table: &ExperimentTable) -> String {
     out
 }
 
-/// Regenerates and renders one figure of the paper by number, executing the
+/// Regenerates one figure's [`ExperimentTable`] by number, executing the
 /// required simulations on `runner` (sharing its memo table with every other
-/// figure rendered through the same runner).
+/// figure regenerated through the same runner).
 ///
 /// Supported figures: 2, 3, 4, 5, 6, 9, 10, 14, 15, 16, 17, 18, 19, 20, 21,
 /// 22 and 23 (the remaining figures are architecture diagrams with no data).
@@ -51,8 +51,8 @@ pub fn render(table: &ExperimentTable) -> String {
 /// # Panics
 ///
 /// Panics if the figure number has no data series in the paper.
-pub fn render_figure(runner: &Runner, figure: u32, scale: &ExperimentScale) -> String {
-    let table = match figure {
+pub fn figure_table(runner: &Runner, figure: u32, scale: &ExperimentScale) -> ExperimentTable {
+    match figure {
         2 => experiments::fig02_dram_vs_cssd(runner, scale),
         3 => experiments::fig03_latency_distribution(runner, scale),
         4 => experiments::fig04_boundedness(runner, scale),
@@ -70,24 +70,42 @@ pub fn render_figure(runner: &Runner, figure: u32, scale: &ExperimentScale) -> S
         22 => experiments::fig22_flash_latency_sweep(runner, scale),
         23 => experiments::fig23_migration_mechanisms(runner, scale),
         other => panic!("figure {other} has no data series (architecture diagram)"),
-    };
-    render(&table)
+    }
 }
 
-/// Regenerates and renders one table of the paper by number (1–4).
+/// Regenerates one paper table's [`ExperimentTable`] by number (1–4).
 ///
 /// # Panics
 ///
 /// Panics if the table number is not 1, 2, 3 or 4.
-pub fn render_table(runner: &Runner, table: u32, scale: &ExperimentScale) -> String {
-    let t = match table {
+pub fn paper_table(runner: &Runner, table: u32, scale: &ExperimentScale) -> ExperimentTable {
+    match table {
         1 => experiments::table1_workloads(),
         2 => experiments::table2_parameters(),
         3 => experiments::table3_flash_read_latency(runner, scale),
         4 => experiments::table4_nand_parameters(),
         other => panic!("table {other} does not exist in the paper"),
-    };
-    render(&t)
+    }
+}
+
+/// Regenerates and renders one figure of the paper by number; see
+/// [`figure_table`].
+///
+/// # Panics
+///
+/// Panics if the figure number has no data series in the paper.
+pub fn render_figure(runner: &Runner, figure: u32, scale: &ExperimentScale) -> String {
+    render(&figure_table(runner, figure, scale))
+}
+
+/// Regenerates and renders one table of the paper by number (1–4); see
+/// [`paper_table`].
+///
+/// # Panics
+///
+/// Panics if the table number is not 1, 2, 3 or 4.
+pub fn render_table(runner: &Runner, table: u32, scale: &ExperimentScale) -> String {
+    render(&paper_table(runner, table, scale))
 }
 
 /// The figures that carry data series (everything the harness can render).
@@ -125,6 +143,35 @@ mod tests {
         let t2 = render_table(&runner, 2, &scale);
         assert!(t2.contains("cs.threshold_us"));
         assert_eq!(runner.runs_executed(), 0, "tables 1/2/4 simulate nothing");
+    }
+
+    #[test]
+    fn csv_export_round_trips_labels_and_values() {
+        let mut t = ExperimentTable {
+            id: "figure-xx".into(),
+            title: "demo".into(),
+            columns: vec!["plain".into(), "with,comma".into()],
+            rows: vec![],
+        };
+        t.rows.push(("bc".into(), vec![0.5, 31.4]));
+        t.rows.push(("a\"b".into(), vec![1.0, 2.0]));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,plain,\"with,comma\""));
+        assert_eq!(lines.next(), Some("bc,0.5,31.4"));
+        assert_eq!(lines.next(), Some("\"a\"\"b\",1,2"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn figure_and_paper_tables_back_the_renderers() {
+        let runner = Runner::new(1);
+        let scale = crate::scale::ExperimentScale::tiny().with_accesses_per_thread(200);
+        let t = paper_table(&runner, 1, &scale);
+        assert_eq!(render(&t), render_table(&runner, 1, &scale));
+        let f = figure_table(&runner, 5, &scale);
+        assert_eq!(f.id, "figure-05");
+        assert!(!f.to_csv().is_empty());
     }
 
     #[test]

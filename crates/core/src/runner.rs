@@ -14,7 +14,7 @@
 //! bit-identical to the sequential path regardless of the number of worker
 //! threads — `tests/experiment_runner.rs` locks this equivalence.
 
-use crate::engine::Simulation;
+use crate::engine::{Simulation, TraceDrive};
 use crate::metrics::SimResult;
 use crate::scale::ExperimentScale;
 use skybyte_types::{SimConfig, VariantKind};
@@ -101,6 +101,12 @@ pub fn default_parallelism() -> usize {
 #[derive(Debug)]
 pub struct Runner {
     jobs: usize,
+    /// Trace drive applied to every request this runner executes (record
+    /// to / replay from a trace directory); [`TraceDrive::Synthetic`] leaves
+    /// requests untouched. The drive becomes part of each decorated
+    /// request's fingerprint, so memoization stays sound when one process
+    /// mixes drives.
+    drive: TraceDrive,
     state: Mutex<MemoState>,
     /// Signalled whenever a run completes, waking callers blocked on a
     /// fingerprint claimed by a concurrent `run_all`.
@@ -122,11 +128,24 @@ impl Runner {
     pub fn new(jobs: usize) -> Self {
         Runner {
             jobs: jobs.max(1),
+            drive: TraceDrive::Synthetic,
             state: Mutex::new(MemoState::default()),
             finished: Condvar::new(),
             runs_executed: AtomicU64::new(0),
             truncated_runs: AtomicU64::new(0),
         }
+    }
+
+    /// Returns this runner with `drive` applied to every request it
+    /// executes — the `figures --record-dir` / `--replay-dir` hook.
+    pub fn with_drive(mut self, drive: TraceDrive) -> Self {
+        self.drive = drive;
+        self
+    }
+
+    /// The trace drive applied to this runner's requests.
+    pub fn drive(&self) -> &TraceDrive {
+        &self.drive
     }
 
     /// Creates a runner sized to the host's available parallelism.
@@ -180,6 +199,22 @@ impl Runner {
     /// claimed, so the runner must be discarded afterwards — a concurrent
     /// caller waiting on that fingerprint would block forever.
     pub fn run_all(&self, reqs: &[RunRequest]) -> Vec<Arc<SimResult>> {
+        // Decorate requests with this runner's trace drive; the drive is in
+        // the decorated fingerprints, keeping the memo table sound.
+        let decorated: Vec<RunRequest>;
+        let reqs: &[RunRequest] = if self.drive == TraceDrive::Synthetic {
+            reqs
+        } else {
+            decorated = reqs
+                .iter()
+                .map(|r| {
+                    RunRequest::from_simulation(
+                        r.simulation().clone().with_drive(self.drive.clone()),
+                    )
+                })
+                .collect();
+            &decorated
+        };
         // Claim every fingerprint that is neither memoized nor already being
         // simulated by a concurrent caller.
         let claimed: Vec<&RunRequest> = {
@@ -362,6 +397,32 @@ mod tests {
         assert_eq!(runner.runs_executed(), 3);
         assert_eq!(runner.memoized_results(), 3);
         assert_eq!(runner.truncated_runs(), 0);
+    }
+
+    #[test]
+    fn drives_partition_the_memo_table_and_replay_matches_recording() {
+        let dir = std::env::temp_dir().join(format!("skybyte-runner-drive-{}", std::process::id()));
+        let scale = tiny();
+        let req = RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale);
+        // The drive is part of the decorated fingerprint, so recorded,
+        // replayed and plain runs memoize separately…
+        let decorated = RunRequest::from_simulation(
+            req.simulation()
+                .clone()
+                .with_drive(crate::engine::TraceDrive::Record { dir: dir.clone() }),
+        );
+        assert_ne!(req.fingerprint(), decorated.fingerprint());
+        // …and a replay-driven runner reproduces the recording bit-exactly.
+        let recorder =
+            Runner::new(2).with_drive(crate::engine::TraceDrive::Record { dir: dir.clone() });
+        let live = recorder.run(&req);
+        let replayer =
+            Runner::new(2).with_drive(crate::engine::TraceDrive::Replay { dir: dir.clone() });
+        let replayed = replayer.run(&req);
+        assert_eq!(*live, *replayed);
+        assert_eq!(recorder.runs_executed(), 1);
+        assert_eq!(replayer.runs_executed(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

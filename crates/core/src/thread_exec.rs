@@ -1,49 +1,84 @@
 //! Per-thread trace execution state.
 //!
-//! Each application thread replays a bounded synthetic trace. When the
-//! coordinated context switch yields a thread in the middle of a memory
-//! access (the instruction is squashed, §III-A), the access is *pushed back*
-//! so that the thread re-issues it when it is scheduled again, exactly like
-//! the replayed instruction of step C4 in Figure 7.
+//! Each application thread replays a bounded stream of work units pulled
+//! from the simulation's [`TraceSource`] — a live synthetic generator, a
+//! recorded `.sbt` trace, or a composition. When the coordinated context
+//! switch yields a thread in the middle of a memory access (the instruction
+//! is squashed, §III-A), the access is *pushed back* so that the thread
+//! re-issues it when it is scheduled again, exactly like the replayed
+//! instruction of step C4 in Figure 7.
+//!
+//! The executor prefetches exactly one unit ahead of execution. That keeps
+//! [`is_finished`](ThreadExecutor::is_finished) exact for *finite* sources
+//! too (a replayed trace ends when the stream does, a generator when the
+//! budget is spent), so the engine observes the same thread-completion
+//! instants — and therefore makes the same scheduling decisions — whether
+//! it runs live or from a recording.
 
-use skybyte_workloads::{TraceGenerator, WorkUnit, WorkloadSpec};
+use skybyte_workloads::{TraceSource, WorkUnit};
 
-/// The execution state of one thread: its trace generator, its remaining
+/// The execution state of one thread: its stream position, its remaining
 /// work budget, and an optional access pending re-issue.
 #[derive(Debug, Clone)]
 pub struct ThreadExecutor {
-    generator: TraceGenerator,
+    thread: u32,
     budget: u64,
     issued: u64,
+    /// Access pending re-issue after a context switch.
     pending: Option<WorkUnit>,
+    /// The next unit of the stream, pulled one step ahead.
+    prefetched: Option<WorkUnit>,
     reissues: u64,
 }
 
 impl ThreadExecutor {
-    /// Creates the executor for `thread` of `threads`, limited to `budget`
-    /// work units.
-    pub fn new(spec: &WorkloadSpec, thread: u32, threads: u32, seed: u64, budget: u64) -> Self {
-        ThreadExecutor {
-            generator: TraceGenerator::new(spec, thread, threads, seed),
+    /// Creates the executor for stream `thread` of `source`, limited to
+    /// `budget` work units, and prefetches the first unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source fails (I/O error or corruption in a replayed
+    /// trace).
+    pub fn new(thread: u32, budget: u64, source: &mut dyn TraceSource) -> Self {
+        let mut exec = ThreadExecutor {
+            thread,
             budget,
             issued: 0,
             pending: None,
+            prefetched: None,
             reissues: 0,
+        };
+        if budget > 0 {
+            exec.prefetch(source);
         }
+        exec
+    }
+
+    fn prefetch(&mut self, source: &mut dyn TraceSource) {
+        debug_assert!(self.prefetched.is_none());
+        self.prefetched = source
+            .next_record(self.thread)
+            .unwrap_or_else(|e| panic!("trace source failed on thread {}: {e}", self.thread))
+            .map(WorkUnit::from);
     }
 
     /// The next work unit to execute, or `None` when the trace is finished.
     /// A pushed-back access is returned first (with zero compute, since the
     /// compute burst before it already executed).
-    pub fn next_unit(&mut self) -> Option<WorkUnit> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source fails while prefetching the successor.
+    pub fn next_unit(&mut self, source: &mut dyn TraceSource) -> Option<WorkUnit> {
         if let Some(p) = self.pending.take() {
             return Some(p);
         }
-        if self.issued >= self.budget {
-            return None;
-        }
+        let unit = self.prefetched.take()?;
         self.issued += 1;
-        Some(self.generator.next_unit())
+        if self.issued < self.budget {
+            self.prefetch(source);
+        }
+        Some(unit)
     }
 
     /// Pushes an access back for re-issue after a context switch. The compute
@@ -57,14 +92,16 @@ impl ThreadExecutor {
         });
     }
 
-    /// Whether the trace is exhausted and nothing is pending.
+    /// Whether the trace is exhausted and nothing is pending. Exact even
+    /// for finite sources, thanks to the one-unit prefetch.
     pub fn is_finished(&self) -> bool {
-        self.pending.is_none() && self.issued >= self.budget
+        self.pending.is_none() && self.prefetched.is_none()
     }
 
-    /// Completed fraction of the work budget.
+    /// Completed fraction of the work budget (1.0 once the stream ended,
+    /// even if a finite source ended before the budget).
     pub fn progress(&self) -> f64 {
-        if self.budget == 0 {
+        if self.budget == 0 || self.is_finished() {
             1.0
         } else {
             self.issued as f64 / self.budget as f64
@@ -76,7 +113,7 @@ impl ThreadExecutor {
         self.reissues
     }
 
-    /// Number of work units issued from the generator.
+    /// Number of work units issued from the source.
     pub fn issued(&self) -> u64 {
         self.issued
     }
@@ -85,18 +122,19 @@ impl ThreadExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skybyte_workloads::WorkloadKind;
+    use skybyte_workloads::{WorkloadKind, WorkloadSource};
 
-    fn exec(budget: u64) -> ThreadExecutor {
+    fn source() -> WorkloadSource {
         let spec = WorkloadKind::Ycsb.spec().scaled_to(8 << 20);
-        ThreadExecutor::new(&spec, 0, 2, 1, budget)
+        WorkloadSource::new(&spec, 2, 1)
     }
 
     #[test]
     fn budget_bounds_the_trace() {
-        let mut e = exec(5);
+        let mut s = source();
+        let mut e = ThreadExecutor::new(0, 5, &mut s);
         let mut count = 0;
-        while e.next_unit().is_some() {
+        while e.next_unit(&mut s).is_some() {
             count += 1;
         }
         assert_eq!(count, 5);
@@ -106,17 +144,36 @@ mod tests {
     }
 
     #[test]
+    fn finite_sources_end_the_trace_before_the_budget() {
+        let spec = WorkloadKind::Ycsb.spec().scaled_to(8 << 20);
+        let mut live = WorkloadSource::new(&spec, 1, 3);
+        let units: Vec<skybyte_workloads::TraceRecord> = (0..4)
+            .map(|_| live.next_record(0).unwrap().unwrap())
+            .collect();
+        let mut replay = skybyte_trace::VecSource::new("finite", vec![units]);
+        let mut e = ThreadExecutor::new(0, u64::MAX, &mut replay);
+        let mut count = 0;
+        while e.next_unit(&mut replay).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4);
+        assert!(e.is_finished());
+        assert_eq!(e.progress(), 1.0);
+    }
+
+    #[test]
     fn push_back_reissues_the_same_access_without_compute() {
-        let mut e = exec(3);
-        let first = e.next_unit().unwrap();
+        let mut s = source();
+        let mut e = ThreadExecutor::new(0, 3, &mut s);
+        let first = e.next_unit(&mut s).unwrap();
         e.push_back(first);
-        let reissued = e.next_unit().unwrap();
+        let reissued = e.next_unit(&mut s).unwrap();
         assert_eq!(reissued.access, first.access);
         assert_eq!(reissued.instructions, 0);
         assert_eq!(e.reissues(), 1);
         // The re-issue does not consume budget.
         let mut remaining = 0;
-        while e.next_unit().is_some() {
+        while e.next_unit(&mut s).is_some() {
             remaining += 1;
         }
         assert_eq!(remaining, 2);
@@ -124,20 +181,35 @@ mod tests {
 
     #[test]
     fn pending_access_defers_finish() {
-        let mut e = exec(1);
-        let u = e.next_unit().unwrap();
-        assert!(!e.is_finished() || e.pending.is_none());
+        let mut s = source();
+        let mut e = ThreadExecutor::new(0, 1, &mut s);
+        let u = e.next_unit(&mut s).unwrap();
+        assert!(e.is_finished());
         e.push_back(u);
         assert!(!e.is_finished());
-        assert!(e.next_unit().is_some());
-        assert!(e.next_unit().is_none());
+        assert!(e.next_unit(&mut s).is_some());
+        assert!(e.next_unit(&mut s).is_none());
+        assert!(e.is_finished());
+    }
+
+    #[test]
+    fn finish_is_observable_immediately_after_the_last_unit() {
+        // The prefetch makes completion visible without an extra pull —
+        // the property that keeps live and replayed scheduling identical.
+        let mut s = source();
+        let mut e = ThreadExecutor::new(1, 2, &mut s);
+        assert!(!e.is_finished());
+        let _ = e.next_unit(&mut s).unwrap();
+        assert!(!e.is_finished());
+        let _ = e.next_unit(&mut s).unwrap();
         assert!(e.is_finished());
     }
 
     #[test]
     fn zero_budget_is_immediately_finished() {
-        let mut e = exec(0);
-        assert!(e.next_unit().is_none());
+        let mut s = source();
+        let mut e = ThreadExecutor::new(0, 0, &mut s);
+        assert!(e.next_unit(&mut s).is_none());
         assert!(e.is_finished());
         assert_eq!(e.progress(), 1.0);
     }

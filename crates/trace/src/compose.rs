@@ -1,0 +1,412 @@
+//! Trace compositors: build multi-tenant and repeated scenarios from
+//! existing traces without writing new generator code.
+//!
+//! * [`Mix`] — deterministic proportional interleave of N sources by weight,
+//! * [`Concat`] — one source after another, per thread,
+//! * [`LoopN`] — repeat a rewindable source a fixed number of times,
+//! * [`Shift`] — re-base a source's footprint by a byte offset.
+//!
+//! All compositors are themselves [`TraceSource`]s, so they nest: a two
+//! tenant mix of a shifted replay and a live generator is
+//! `Mix::new(vec![(Box::new(Shift::new(a, off)), 2), (Box::new(b), 1)])`.
+
+use crate::error::TraceError;
+use crate::record::TraceRecord;
+use crate::source::TraceSource;
+
+/// A boxed source, the currency of composition.
+pub type BoxedSource = Box<dyn TraceSource>;
+
+/// Deterministic proportional interleave of N sources.
+///
+/// Per thread, each source carries a credit counter; every pull adds each
+/// live source's weight to its credit and emits from the highest-credit
+/// source (ties broken by input order), subtracting the total live weight —
+/// the classic smooth weighted round-robin. A 2:1 mix of `a` and `b`
+/// therefore yields `a b a a b a …` until a source runs dry, after which the
+/// remaining sources continue in proportion. Every record of every input is
+/// emitted exactly once, so a mix conserves total access count.
+#[derive(Debug)]
+pub struct Mix {
+    inputs: Vec<(BoxedSource, u64)>,
+    /// Per thread, per source: (credit, exhausted).
+    state: Vec<Vec<(i64, bool)>>,
+    threads: u32,
+}
+
+impl Mix {
+    /// Mixes `inputs` proportionally by the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any weight is zero.
+    pub fn new(inputs: Vec<(BoxedSource, u64)>) -> Self {
+        assert!(!inputs.is_empty(), "Mix needs at least one input");
+        assert!(
+            inputs.iter().all(|(_, w)| *w > 0),
+            "Mix weights must be positive"
+        );
+        let threads = inputs.iter().map(|(s, _)| s.threads()).max().unwrap_or(1);
+        let state = (0..threads)
+            .map(|_| inputs.iter().map(|_| (0i64, false)).collect())
+            .collect();
+        Mix {
+            inputs,
+            state,
+            threads,
+        }
+    }
+}
+
+impl TraceSource for Mix {
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn identity(&self) -> String {
+        let parts: Vec<String> = self
+            .inputs
+            .iter()
+            .map(|(s, w)| format!("{}*{w}", s.identity()))
+            .collect();
+        format!("mix({})", parts.join(","))
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        if thread >= self.threads {
+            return Err(TraceError::ThreadOutOfRange {
+                threads: self.threads,
+                requested: thread,
+            });
+        }
+        let state = &mut self.state[thread as usize];
+        loop {
+            // A source participates while it still has this thread's stream.
+            let mut live_weight = 0i64;
+            for (i, (source, weight)) in self.inputs.iter().enumerate() {
+                if !state[i].1 && thread < source.threads() {
+                    live_weight += *weight as i64;
+                }
+            }
+            if live_weight == 0 {
+                return Ok(None);
+            }
+            let mut best: Option<usize> = None;
+            for (i, (source, weight)) in self.inputs.iter().enumerate() {
+                if state[i].1 || thread >= source.threads() {
+                    continue;
+                }
+                state[i].0 += *weight as i64;
+                if best.is_none_or(|b| state[i].0 > state[b].0) {
+                    best = Some(i);
+                }
+            }
+            let chosen = best.expect("live_weight > 0 implies a live source");
+            state[chosen].0 -= live_weight;
+            match self.inputs[chosen].0.next_record(thread)? {
+                Some(record) => return Ok(Some(record)),
+                None => state[chosen].1 = true,
+            }
+        }
+    }
+}
+
+/// Plays sources back to back: per thread, the whole stream of the first
+/// input, then the second, and so on.
+#[derive(Debug)]
+pub struct Concat {
+    inputs: Vec<BoxedSource>,
+    /// Per thread: index of the input currently being drained.
+    current: Vec<usize>,
+    threads: u32,
+}
+
+impl Concat {
+    /// Concatenates `inputs` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new(inputs: Vec<BoxedSource>) -> Self {
+        assert!(!inputs.is_empty(), "Concat needs at least one input");
+        let threads = inputs.iter().map(|s| s.threads()).max().unwrap_or(1);
+        Concat {
+            current: vec![0; threads as usize],
+            inputs,
+            threads,
+        }
+    }
+}
+
+impl TraceSource for Concat {
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn identity(&self) -> String {
+        let parts: Vec<String> = self.inputs.iter().map(|s| s.identity()).collect();
+        format!("concat({})", parts.join(","))
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        if thread >= self.threads {
+            return Err(TraceError::ThreadOutOfRange {
+                threads: self.threads,
+                requested: thread,
+            });
+        }
+        let current = &mut self.current[thread as usize];
+        while *current < self.inputs.len() {
+            let source = &mut self.inputs[*current];
+            if thread < source.threads() {
+                if let Some(record) = source.next_record(thread)? {
+                    return Ok(Some(record));
+                }
+            }
+            *current += 1;
+        }
+        Ok(None)
+    }
+}
+
+/// Repeats a rewindable source `times` times, per thread.
+///
+/// The inner source must support [`TraceSource::reset_thread`] (recorded
+/// `.sbt` files and synthetic generators do); a non-rewindable inner source
+/// yields [`TraceError::Unsupported`] at the first loop boundary.
+#[derive(Debug)]
+pub struct LoopN {
+    inner: BoxedSource,
+    times: u32,
+    /// Per thread: completed iterations.
+    done: Vec<u32>,
+}
+
+impl LoopN {
+    /// Loops `inner` `times` times (`times == 0` is an empty source).
+    pub fn new(inner: BoxedSource, times: u32) -> Self {
+        let threads = inner.threads();
+        LoopN {
+            inner,
+            times,
+            done: vec![0; threads as usize],
+        }
+    }
+}
+
+impl TraceSource for LoopN {
+    fn threads(&self) -> u32 {
+        self.inner.threads()
+    }
+
+    fn identity(&self) -> String {
+        format!("loop({},{})", self.inner.identity(), self.times)
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        if thread >= self.inner.threads() {
+            return Err(TraceError::ThreadOutOfRange {
+                threads: self.inner.threads(),
+                requested: thread,
+            });
+        }
+        loop {
+            let done = self.done[thread as usize];
+            if done >= self.times {
+                return Ok(None);
+            }
+            if let Some(record) = self.inner.next_record(thread)? {
+                return Ok(Some(record));
+            }
+            self.done[thread as usize] = done + 1;
+            if self.done[thread as usize] >= self.times {
+                return Ok(None);
+            }
+            if !self.inner.reset_thread(thread)? {
+                return Err(TraceError::Unsupported(
+                    "LoopN requires a rewindable inner source",
+                ));
+            }
+        }
+    }
+}
+
+/// Re-bases a source's footprint by adding a byte offset to every address
+/// (wrapping), so multiple tenants can occupy disjoint address ranges.
+#[derive(Debug)]
+pub struct Shift {
+    inner: BoxedSource,
+    offset_bytes: u64,
+}
+
+impl Shift {
+    /// Shifts every address of `inner` up by `offset_bytes`.
+    pub fn new(inner: BoxedSource, offset_bytes: u64) -> Self {
+        Shift {
+            inner,
+            offset_bytes,
+        }
+    }
+}
+
+impl TraceSource for Shift {
+    fn threads(&self) -> u32 {
+        self.inner.threads()
+    }
+
+    fn identity(&self) -> String {
+        format!("shift({},{})", self.inner.identity(), self.offset_bytes)
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        Ok(self
+            .inner
+            .next_record(thread)?
+            .map(|r| r.shifted(self.offset_bytes)))
+    }
+
+    fn reset_thread(&mut self, thread: u32) -> Result<bool, TraceError> {
+        self.inner.reset_thread(thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use skybyte_types::AccessKind;
+
+    fn tagged(n: u64, tag: u64) -> Vec<TraceRecord> {
+        // Encode the source tag in the instruction count so interleavings
+        // are observable.
+        (0..n)
+            .map(|i| TraceRecord::new(tag, i * 64, AccessKind::Read, 64))
+            .collect()
+    }
+
+    fn boxed(name: &str, streams: Vec<Vec<TraceRecord>>) -> BoxedSource {
+        Box::new(VecSource::new(name, streams))
+    }
+
+    fn drain(source: &mut dyn TraceSource, thread: u32) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        while let Some(r) = source.next_record(thread).unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn mix_interleaves_proportionally_and_conserves_counts() {
+        let mut mix = Mix::new(vec![
+            (boxed("a", vec![tagged(20, 1)]), 2),
+            (boxed("b", vec![tagged(10, 2)]), 1),
+        ]);
+        let out = drain(&mut mix, 0);
+        assert_eq!(out.len(), 30, "mix must conserve the total record count");
+        // Proportionality: among the first 15 pulls, 10 come from a, 5 from b.
+        let head_a = out[..15].iter().filter(|r| r.instructions == 1).count();
+        assert_eq!(head_a, 10);
+        // Determinism.
+        let mut mix2 = Mix::new(vec![
+            (boxed("a", vec![tagged(20, 1)]), 2),
+            (boxed("b", vec![tagged(10, 2)]), 1),
+        ]);
+        assert_eq!(drain(&mut mix2, 0), out);
+        assert!(mix.identity().starts_with("mix("));
+    }
+
+    #[test]
+    fn mix_continues_after_one_source_dries_up() {
+        let mut mix = Mix::new(vec![
+            (boxed("a", vec![tagged(2, 1)]), 1),
+            (boxed("b", vec![tagged(8, 2)]), 1),
+        ]);
+        let out = drain(&mut mix, 0);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.iter().filter(|r| r.instructions == 2).count(), 8);
+    }
+
+    #[test]
+    fn mix_spans_unequal_thread_counts() {
+        let mut mix = Mix::new(vec![
+            (boxed("a", vec![tagged(4, 1), tagged(4, 1)]), 1),
+            (boxed("b", vec![tagged(4, 2)]), 1),
+        ]);
+        assert_eq!(mix.threads(), 2);
+        assert_eq!(drain(&mut mix, 0).len(), 8);
+        // Thread 1 only exists in source a.
+        let t1 = drain(&mut mix, 1);
+        assert_eq!(t1.len(), 4);
+        assert!(t1.iter().all(|r| r.instructions == 1));
+    }
+
+    #[test]
+    fn concat_plays_streams_back_to_back() {
+        let mut cat = Concat::new(vec![
+            boxed("a", vec![tagged(3, 1)]),
+            boxed("b", vec![tagged(2, 2)]),
+        ]);
+        let out = drain(&mut cat, 0);
+        let tags: Vec<u64> = out.iter().map(|r| r.instructions).collect();
+        assert_eq!(tags, vec![1, 1, 1, 2, 2]);
+        assert!(cat.identity().starts_with("concat("));
+    }
+
+    #[test]
+    fn loop_repeats_rewindable_sources() {
+        let mut looped = LoopN::new(boxed("a", vec![tagged(3, 1)]), 3);
+        let out = drain(&mut looped, 0);
+        assert_eq!(out.len(), 9);
+        assert_eq!(out[0], out[3]);
+        assert_eq!(out[0], out[6]);
+        assert_eq!(looped.identity(), "loop(vec:a,3)");
+        // Zero iterations is empty.
+        let mut zero = LoopN::new(boxed("a", vec![tagged(3, 1)]), 0);
+        assert!(drain(&mut zero, 0).is_empty());
+    }
+
+    #[test]
+    fn loop_over_non_rewindable_source_errors() {
+        // A Mix never rewinds.
+        let inner = Mix::new(vec![(boxed("a", vec![tagged(2, 1)]), 1)]);
+        let mut looped = LoopN::new(Box::new(inner), 2);
+        assert!(looped.next_record(0).unwrap().is_some());
+        assert!(looped.next_record(0).unwrap().is_some());
+        assert!(matches!(
+            looped.next_record(0),
+            Err(TraceError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn shift_rebases_addresses() {
+        let mut shifted = Shift::new(boxed("a", vec![tagged(3, 1)]), 1 << 30);
+        let out = drain(&mut shifted, 0);
+        assert_eq!(out[0].addr(), 1 << 30);
+        assert_eq!(out[2].addr(), (1 << 30) + 128);
+        assert!(shifted.identity().starts_with("shift(vec:a,"));
+        // Shift preserves rewindability.
+        assert!(shifted.reset_thread(0).unwrap());
+        assert_eq!(shifted.next_record(0).unwrap().unwrap().addr(), 1 << 30);
+    }
+
+    #[test]
+    fn compositors_reject_out_of_range_threads() {
+        let mut mix = Mix::new(vec![(boxed("a", vec![tagged(1, 1)]), 1)]);
+        assert!(matches!(
+            mix.next_record(5),
+            Err(TraceError::ThreadOutOfRange { .. })
+        ));
+        let mut cat = Concat::new(vec![boxed("a", vec![tagged(1, 1)])]);
+        assert!(matches!(
+            cat.next_record(5),
+            Err(TraceError::ThreadOutOfRange { .. })
+        ));
+        let mut looped = LoopN::new(boxed("a", vec![tagged(1, 1)]), 1);
+        assert!(matches!(
+            looped.next_record(5),
+            Err(TraceError::ThreadOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,646 @@
+//! The `.sbt` (SkyByte trace) binary format.
+//!
+//! An `.sbt` file is a self-describing, versioned container for the
+//! per-thread access streams of one workload execution:
+//!
+//! ```text
+//! magic   8 bytes   b"SBTRACE\0"
+//! version varint    format version (currently 1)
+//! threads varint    number of thread streams
+//! footprint varint  workload footprint in bytes (provenance)
+//! seed    varint    generator seed (provenance)
+//! source  varint n + n bytes   UTF-8 identity of the producing source
+//! chunk*            until EOF
+//! ```
+//!
+//! Each chunk interleaves one thread's records:
+//!
+//! ```text
+//! thread  varint    stream index (< threads)
+//! count   varint    number of records in this chunk (>= 1)
+//! bytes   varint    encoded payload length (allows O(1) skipping)
+//! payload           count records:
+//!     instructions  varint          (timestamp delta)
+//!     addr-delta    zigzag varint   vs the previous record of the SAME thread
+//!     op            1 byte          0 = read, 1 = write
+//!     size          varint          access size in bytes
+//! ```
+//!
+//! Address deltas chain per thread across chunks (wrapping `u64`
+//! arithmetic), so hot/cold pointer-chasing streams stay compact while a
+//! reader that filters a single thread can skip foreign chunks without
+//! decoding them. Both [`TraceWriter`] and the readers stream with O(1)
+//! memory: the writer buffers at most one chunk, the readers at most one
+//! record.
+
+use crate::error::TraceError;
+use crate::record::TraceRecord;
+use crate::varint;
+use skybyte_types::AccessKind;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"SBTRACE\0";
+
+/// The current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Records buffered per chunk by the writer before flushing.
+const CHUNK_RECORDS: u64 = 512;
+
+/// Maximum stored length of the header's source-identity string, in bytes.
+/// The writer truncates longer identities (compositor identities compound
+/// recursively and can grow without bound); the reader rejects anything
+/// larger as corrupt.
+pub const MAX_SOURCE_IDENTITY_BYTES: usize = 4096;
+
+/// Truncates `s` to at most [`MAX_SOURCE_IDENTITY_BYTES`] on a UTF-8
+/// boundary.
+fn clip_identity(s: &str) -> &str {
+    if s.len() <= MAX_SOURCE_IDENTITY_BYTES {
+        return s;
+    }
+    let mut end = MAX_SOURCE_IDENTITY_BYTES;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+/// The self-describing provenance header of an `.sbt` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Number of per-thread streams in the file.
+    pub threads: u32,
+    /// Footprint of the traced workload in bytes (provenance; compositors
+    /// propagate the maximum of their inputs).
+    pub footprint_bytes: u64,
+    /// Seed of the generator that produced the trace (provenance).
+    pub seed: u64,
+    /// Free-form identity of the producing source.
+    pub source: String,
+}
+
+impl TraceHeader {
+    /// Serialises the header. Source identities longer than
+    /// [`MAX_SOURCE_IDENTITY_BYTES`] are truncated so the file stays
+    /// readable (the reader rejects longer ones as corrupt).
+    fn write_to<W: Write>(&self, out: &mut W) -> Result<(), TraceError> {
+        let source = clip_identity(&self.source);
+        out.write_all(&MAGIC)?;
+        varint::write_u64(out, FORMAT_VERSION as u64)?;
+        varint::write_u64(out, self.threads as u64)?;
+        varint::write_u64(out, self.footprint_bytes)?;
+        varint::write_u64(out, self.seed)?;
+        varint::write_u64(out, source.len() as u64)?;
+        out.write_all(source.as_bytes())?;
+        Ok(())
+    }
+
+    /// Parses the header from the start of a stream.
+    fn read_from<R: Read>(input: &mut R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated {
+                    context: "file shorter than the magic",
+                }
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = varint::read_u64(input)? as u32;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let threads = varint::read_u64(input)?;
+        if threads == 0 || threads > u32::MAX as u64 {
+            return Err(TraceError::Corrupt("thread count out of range"));
+        }
+        let footprint_bytes = varint::read_u64(input)?;
+        let seed = varint::read_u64(input)?;
+        let name_len = varint::read_u64(input)?;
+        if name_len > MAX_SOURCE_IDENTITY_BYTES as u64 {
+            return Err(TraceError::Corrupt("source identity too long"));
+        }
+        let mut name = vec![0u8; name_len as usize];
+        input.read_exact(&mut name).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated {
+                    context: "header ended mid source identity",
+                }
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        let source = String::from_utf8(name)
+            .map_err(|_| TraceError::Corrupt("source identity is not UTF-8"))?;
+        Ok(TraceHeader {
+            threads: threads as u32,
+            footprint_bytes,
+            seed,
+            source,
+        })
+    }
+}
+
+/// Streaming `.sbt` writer with O(1) memory (at most one buffered chunk).
+///
+/// Records are appended with [`push`](Self::push) in any thread interleaving;
+/// [`finish`](Self::finish) flushes the trailing chunk. Dropping the writer
+/// without finishing loses the buffered tail.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    threads: u32,
+    /// Previous absolute address per thread (delta-chain state).
+    last_addr: Vec<u64>,
+    /// Thread the buffered chunk belongs to.
+    chunk_thread: u32,
+    /// Encoded records of the buffered chunk.
+    chunk: Vec<u8>,
+    chunk_count: u64,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on `out`, writing the header immediately.
+    pub fn new(mut out: W, header: &TraceHeader) -> Result<Self, TraceError> {
+        header.write_to(&mut out)?;
+        Ok(TraceWriter {
+            out,
+            threads: header.threads,
+            last_addr: vec![0; header.threads as usize],
+            chunk_thread: 0,
+            chunk: Vec::new(),
+            chunk_count: 0,
+            records: 0,
+        })
+    }
+
+    /// Appends one record to `thread`'s stream.
+    pub fn push(&mut self, thread: u32, record: &TraceRecord) -> Result<(), TraceError> {
+        if thread >= self.threads {
+            return Err(TraceError::ThreadOutOfRange {
+                threads: self.threads,
+                requested: thread,
+            });
+        }
+        if self.chunk_count > 0
+            && (thread != self.chunk_thread || self.chunk_count >= CHUNK_RECORDS)
+        {
+            self.flush_chunk()?;
+        }
+        self.chunk_thread = thread;
+        let prev = &mut self.last_addr[thread as usize];
+        varint::write_u64(&mut self.chunk, record.instructions)?;
+        let delta = varint::address_delta(*prev, record.addr());
+        varint::write_u64(&mut self.chunk, varint::zigzag(delta))?;
+        *prev = record.addr();
+        self.chunk.push(record.access.kind.is_write() as u8);
+        varint::write_u64(&mut self.chunk, record.size_bytes as u64)?;
+        self.chunk_count += 1;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Total records pushed so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.chunk_count == 0 {
+            return Ok(());
+        }
+        varint::write_u64(&mut self.out, self.chunk_thread as u64)?;
+        varint::write_u64(&mut self.out, self.chunk_count)?;
+        varint::write_u64(&mut self.out, self.chunk.len() as u64)?;
+        self.out.write_all(&self.chunk)?;
+        self.chunk.clear();
+        self.chunk_count = 0;
+        Ok(())
+    }
+
+    /// Flushes the trailing chunk and the underlying writer, returning it.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.flush_chunk()?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl TraceWriter<BufWriter<std::fs::File>> {
+    /// Creates (truncating) an `.sbt` file at `path`.
+    pub fn create(path: &Path, header: &TraceHeader) -> Result<Self, TraceError> {
+        let file = std::fs::File::create(path)?;
+        Self::new(BufWriter::new(file), header)
+    }
+}
+
+/// One decoded chunk header.
+#[derive(Debug, Clone, Copy)]
+struct ChunkHeader {
+    thread: u32,
+    count: u64,
+    bytes: u64,
+}
+
+/// Shared low-level decoding over any byte stream.
+#[derive(Debug)]
+struct Decoder<R: Read> {
+    input: R,
+    threads: u32,
+}
+
+impl<R: Read> Decoder<R> {
+    /// Reads the next chunk header, or `None` on clean EOF. EOF is clean only
+    /// at a chunk boundary.
+    fn next_chunk(&mut self) -> Result<Option<ChunkHeader>, TraceError> {
+        // Probe one byte so EOF at a boundary is distinguishable from
+        // truncation inside a varint.
+        let mut first = [0u8; 1];
+        match self.input.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+        let thread = varint::read_u64(&mut (&first[..]).chain(&mut self.input))?;
+        if thread >= self.threads as u64 {
+            return Err(TraceError::Corrupt("chunk thread index out of range"));
+        }
+        let count = varint::read_u64(&mut self.input)?;
+        if count == 0 {
+            return Err(TraceError::Corrupt("empty chunk"));
+        }
+        let bytes = varint::read_u64(&mut self.input)?;
+        Ok(Some(ChunkHeader {
+            thread: thread as u32,
+            count,
+            bytes,
+        }))
+    }
+
+    /// Decodes one record, updating the per-thread delta-chain state.
+    fn read_record(&mut self, last_addr: &mut u64) -> Result<TraceRecord, TraceError> {
+        let instructions = varint::read_u64(&mut self.input)?;
+        let delta = varint::unzigzag(varint::read_u64(&mut self.input)?);
+        let addr = varint::apply_delta(*last_addr, delta);
+        *last_addr = addr;
+        let mut op = [0u8; 1];
+        self.input.read_exact(&mut op).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated {
+                    context: "record ended before the op byte",
+                }
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        let kind = match op[0] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            _ => return Err(TraceError::Corrupt("unknown op byte")),
+        };
+        let size = varint::read_u64(&mut self.input)?;
+        if size > u32::MAX as u64 {
+            return Err(TraceError::Corrupt("access size overflows u32"));
+        }
+        Ok(TraceRecord::new(instructions, addr, kind, size as u32))
+    }
+
+    /// Skips `bytes` of payload without decoding.
+    fn skip(&mut self, bytes: u64) -> Result<(), TraceError> {
+        let copied = std::io::copy(&mut (&mut self.input).take(bytes), &mut std::io::sink())?;
+        if copied != bytes {
+            return Err(TraceError::Truncated {
+                context: "chunk payload shorter than its declared length",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Streaming reader over **all** thread streams of an `.sbt` file, yielding
+/// `(thread, record)` pairs in file order. Used by the `stat` pass and the
+/// compositor CLI.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    decoder: Decoder<R>,
+    header: TraceHeader,
+    last_addr: Vec<u64>,
+    /// `(thread, records remaining)` of the chunk being decoded.
+    current: Option<(u32, u64)>,
+    records_read: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parses the header and prepares to stream records.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let header = TraceHeader::read_from(&mut input)?;
+        let threads = header.threads;
+        Ok(TraceReader {
+            decoder: Decoder { input, threads },
+            last_addr: vec![0; threads as usize],
+            header,
+            current: None,
+            records_read: 0,
+        })
+    }
+
+    /// The file's provenance header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// The next `(thread, record)` pair, or `None` at clean EOF.
+    #[allow(clippy::should_implement_trait)] // fallible streaming next
+    pub fn next(&mut self) -> Result<Option<(u32, TraceRecord)>, TraceError> {
+        loop {
+            if let Some((thread, remaining)) = self.current {
+                if remaining == 0 {
+                    self.current = None;
+                    continue;
+                }
+                let record = self
+                    .decoder
+                    .read_record(&mut self.last_addr[thread as usize])?;
+                self.current = Some((thread, remaining - 1));
+                self.records_read += 1;
+                return Ok(Some((thread, record)));
+            }
+            match self.decoder.next_chunk()? {
+                Some(chunk) => self.current = Some((chunk.thread, chunk.count)),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+impl TraceReader<BufReader<std::fs::File>> {
+    /// Opens an `.sbt` file for sequential reading.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let file = std::fs::File::open(path)?;
+        Self::new(BufReader::new(file))
+    }
+}
+
+/// Streaming reader filtered to **one** thread stream; chunks of other
+/// threads are skipped without decoding (their lengths are in the chunk
+/// headers). This is what per-thread replay uses — one cursor per thread,
+/// each with its own file handle, O(1) memory each.
+#[derive(Debug)]
+pub struct ThreadReader<R: Read> {
+    decoder: Decoder<R>,
+    thread: u32,
+    last_addr: u64,
+    /// Records remaining in the current chunk of *this* thread.
+    remaining: u64,
+}
+
+impl<R: Read> ThreadReader<R> {
+    /// Wraps a fresh stream (header not yet consumed), filtering `thread`.
+    pub fn new(mut input: R, thread: u32) -> Result<Self, TraceError> {
+        let header = TraceHeader::read_from(&mut input)?;
+        if thread >= header.threads {
+            return Err(TraceError::ThreadOutOfRange {
+                threads: header.threads,
+                requested: thread,
+            });
+        }
+        Ok(ThreadReader {
+            decoder: Decoder {
+                input,
+                threads: header.threads,
+            },
+            thread,
+            last_addr: 0,
+            remaining: 0,
+        })
+    }
+
+    /// The next record of this thread's stream, or `None` at clean EOF.
+    #[allow(clippy::should_implement_trait)] // fallible streaming next
+    pub fn next(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        loop {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                return Ok(Some(self.decoder.read_record(&mut self.last_addr)?));
+            }
+            match self.decoder.next_chunk()? {
+                Some(chunk) if chunk.thread == self.thread => self.remaining = chunk.count,
+                Some(chunk) => self.decoder.skip(chunk.bytes)?,
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+impl ThreadReader<BufReader<std::fs::File>> {
+    /// Opens `path` with an independent file handle filtered to `thread`.
+    pub fn open(path: &Path, thread: u32) -> Result<Self, TraceError> {
+        let file = std::fs::File::open(path)?;
+        Self::new(BufReader::new(file), thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn header(threads: u32) -> TraceHeader {
+        TraceHeader {
+            threads,
+            footprint_bytes: 8 << 20,
+            seed: 42,
+            source: "unit-test".to_string(),
+        }
+    }
+
+    fn encode(threads: u32, records: &[(u32, TraceRecord)]) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), &header(threads)).unwrap();
+        for (t, r) in records {
+            w.push(*t, r).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<(u32, TraceRecord)> {
+        let mut r = TraceReader::new(bytes).unwrap();
+        let mut out = Vec::new();
+        while let Some(pair) = r.next().unwrap() {
+            out.push(pair);
+        }
+        out
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let bytes = encode(3, &[]);
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.header(), &header(3));
+    }
+
+    #[test]
+    fn records_round_trip_across_threads_and_chunks() {
+        let mut records = Vec::new();
+        // Interleave threads so chunk switching is exercised, with more
+        // records than one chunk holds.
+        for i in 0..2_000u64 {
+            let t = (i % 3) as u32;
+            let r = if i % 4 == 0 {
+                TraceRecord::write(i, i * 4096 + t as u64 * 64)
+            } else {
+                TraceRecord::read(i, (2_000 - i) * 64)
+            };
+            records.push((t, r));
+        }
+        let bytes = encode(3, &records);
+        assert_eq!(decode_all(&bytes), records);
+    }
+
+    #[test]
+    fn thread_reader_filters_and_skips() {
+        let records: Vec<(u32, TraceRecord)> = (0..600u64)
+            .map(|i| ((i % 2) as u32, TraceRecord::read(i, i * 64)))
+            .collect();
+        let bytes = encode(2, &records);
+        for t in 0..2 {
+            let mut r = ThreadReader::new(bytes.as_slice(), t).unwrap();
+            let mut got = Vec::new();
+            while let Some(rec) = r.next().unwrap() {
+                got.push(rec);
+            }
+            let want: Vec<TraceRecord> = records
+                .iter()
+                .filter(|(rt, _)| *rt == t)
+                .map(|(_, r)| *r)
+                .collect();
+            assert_eq!(got, want, "thread {t}");
+        }
+        assert!(matches!(
+            ThreadReader::new(bytes.as_slice(), 2),
+            Err(TraceError::ThreadOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_source_identities_are_clipped_to_stay_readable() {
+        // Compositor identities compound recursively; the writer must clip
+        // them so its own output never trips the reader's corruption cap.
+        let huge = TraceHeader {
+            threads: 1,
+            footprint_bytes: 1,
+            seed: 0,
+            source: "é".repeat(3 * MAX_SOURCE_IDENTITY_BYTES),
+        };
+        let mut w = TraceWriter::new(Vec::new(), &huge).unwrap();
+        w.push(0, &TraceRecord::read(1, 64)).unwrap();
+        let bytes = w.finish().unwrap();
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(r.header().source.len() <= MAX_SOURCE_IDENTITY_BYTES);
+        assert!(r.header().source.starts_with('é'));
+    }
+
+    #[test]
+    fn writer_rejects_out_of_range_threads() {
+        let mut w = TraceWriter::new(Vec::new(), &header(2)).unwrap();
+        assert!(matches!(
+            w.push(2, &TraceRecord::read(0, 0)),
+            Err(TraceError::ThreadOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        assert!(matches!(
+            TraceReader::new(&b"NOTATRACE-------"[..]),
+            Err(TraceError::BadMagic)
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        varint::write_u64(&mut bytes, 99).unwrap();
+        assert!(matches!(
+            TraceReader::new(bytes.as_slice()),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error_never_a_panic() {
+        let records: Vec<(u32, TraceRecord)> = (0..40u64)
+            .map(|i| ((i % 2) as u32, TraceRecord::write(i, u64::MAX - i * 7)))
+            .collect();
+        let bytes = encode(2, &records);
+        for cut in 0..bytes.len() {
+            let mut r = match TraceReader::new(&bytes[..cut]) {
+                Ok(r) => r,
+                Err(
+                    TraceError::Truncated { .. } | TraceError::Corrupt(_) | TraceError::BadMagic,
+                ) => continue,
+                Err(e) => panic!("unexpected header error at cut {cut}: {e}"),
+            };
+            loop {
+                match r.next() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break, // truncation fell on a chunk boundary
+                    Err(TraceError::Truncated { .. } | TraceError::Corrupt(_)) => break,
+                    Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn arbitrary_streams_round_trip(
+            raw in proptest::collection::vec(
+                (0u32..4, any::<u64>(), any::<u64>(), any::<bool>(), 0u32..(1 << 20)),
+                0..300,
+            )
+        ) {
+            // Arbitrary record streams — including u64-extreme addresses
+            // (wrapping deltas) and zero-size ops — encode and decode
+            // identically.
+            let records: Vec<(u32, TraceRecord)> = raw
+                .into_iter()
+                .map(|(t, instructions, addr, write, size)| {
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    (t, TraceRecord::new(instructions, addr, kind, size))
+                })
+                .collect();
+            let bytes = encode(4, &records);
+            prop_assert_eq!(decode_all(&bytes), records);
+        }
+
+        #[test]
+        fn truncated_arbitrary_streams_never_panic(
+            raw in proptest::collection::vec((0u32..3, any::<u64>(), any::<bool>()), 1..60),
+            cut_permille in 0u32..1000,
+        ) {
+            let records: Vec<(u32, TraceRecord)> = raw
+                .into_iter()
+                .map(|(t, addr, write)| {
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    (t, TraceRecord::new(0, addr, kind, 0))
+                })
+                .collect();
+            let bytes = encode(3, &records);
+            let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+            if let Ok(mut r) = TraceReader::new(&bytes[..cut]) {
+                while let Ok(Some(_)) = r.next() {}
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The in-memory trace record.
+
+use skybyte_types::{AccessKind, MemAccess, VirtAddr, CACHELINE_SIZE};
+
+/// One replayable event of a thread's access stream: a compute gap followed
+/// by one off-chip memory access of `size_bytes` bytes.
+///
+/// On disk (see [`crate::format`]) the record is delta-encoded as
+/// `(timestamp-delta, address-delta, op, size)`; in memory the address is
+/// absolute. The compute gap is measured in instructions — the
+/// timestamp-delta of the instruction-driven simulator — so a recorded
+/// synthetic trace replays bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Instructions executed before the access (the timestamp delta).
+    pub instructions: u64,
+    /// The access itself: absolute virtual address plus read/write kind.
+    pub access: MemAccess,
+    /// Bytes touched by the access; one cacheline for CPU-originated traces.
+    pub size_bytes: u32,
+}
+
+impl TraceRecord {
+    /// A single-cacheline read after `instructions` instructions.
+    pub fn read(instructions: u64, addr: u64) -> Self {
+        Self::new(instructions, addr, AccessKind::Read, CACHELINE_SIZE as u32)
+    }
+
+    /// A single-cacheline write after `instructions` instructions.
+    pub fn write(instructions: u64, addr: u64) -> Self {
+        Self::new(instructions, addr, AccessKind::Write, CACHELINE_SIZE as u32)
+    }
+
+    /// A fully specified record.
+    pub fn new(instructions: u64, addr: u64, kind: AccessKind, size_bytes: u32) -> Self {
+        TraceRecord {
+            instructions,
+            access: MemAccess::new(VirtAddr::new(addr), kind),
+            size_bytes,
+        }
+    }
+
+    /// The absolute address as a raw integer.
+    pub fn addr(&self) -> u64 {
+        self.access.addr.as_u64()
+    }
+
+    /// Returns a copy with the address shifted by `offset` bytes (wrapping).
+    pub fn shifted(mut self, offset: u64) -> Self {
+        self.access.addr = VirtAddr::new(self.addr().wrapping_add(offset));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let r = TraceRecord::read(12, 0x1000);
+        assert_eq!(r.instructions, 12);
+        assert_eq!(r.addr(), 0x1000);
+        assert!(r.access.kind.is_read());
+        assert_eq!(r.size_bytes, 64);
+        let w = TraceRecord::write(0, 64);
+        assert!(w.access.kind.is_write());
+    }
+
+    #[test]
+    fn shift_wraps() {
+        let r = TraceRecord::read(1, u64::MAX).shifted(2);
+        assert_eq!(r.addr(), 1);
+        assert_eq!(TraceRecord::read(1, 0x40).shifted(0x40).addr(), 0x80);
+    }
+}

@@ -1,0 +1,375 @@
+//! The [`TraceSource`] abstraction: anything that can feed per-thread access
+//! streams to the simulator — live synthetic generators, recorded `.sbt`
+//! files, and compositions thereof ([`crate::compose`]).
+
+use crate::error::TraceError;
+use crate::format::{ThreadReader, TraceHeader, TraceReader, TraceWriter};
+use crate::record::TraceRecord;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// A set of independent per-thread access streams.
+///
+/// The simulation engine pulls each thread's stream strictly in order but
+/// interleaves pulls *across* threads in simulated-time order; a source must
+/// therefore keep the streams independent — the records of thread `t` may
+/// not depend on when (or whether) other threads are polled. All sources in
+/// this workspace are deterministic, which is what makes record → replay
+/// bit-identical and memoized parallel runs sound.
+pub trait TraceSource: std::fmt::Debug {
+    /// Number of per-thread streams.
+    fn threads(&self) -> u32;
+
+    /// A stable, human-readable identity used for provenance headers and as
+    /// the trace component of run-request fingerprints.
+    fn identity(&self) -> String;
+
+    /// The next record of `thread`'s stream; `Ok(None)` when exhausted.
+    /// Generators are typically unbounded and never return `None`.
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError>;
+
+    /// Rewinds one thread's stream to its beginning, if the source supports
+    /// it. Returns `Ok(false)` (the default) when it cannot rewind.
+    fn reset_thread(&mut self, _thread: u32) -> Result<bool, TraceError> {
+        Ok(false)
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn threads(&self) -> u32 {
+        (**self).threads()
+    }
+
+    fn identity(&self) -> String {
+        (**self).identity()
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        (**self).next_record(thread)
+    }
+
+    fn reset_thread(&mut self, thread: u32) -> Result<bool, TraceError> {
+        (**self).reset_thread(thread)
+    }
+}
+
+/// Tees any source to an `.sbt` writer: every record pulled through the
+/// adapter is also appended to the trace file, so a live simulation records
+/// exactly the stream it consumed.
+#[derive(Debug)]
+pub struct Record<S: TraceSource, W: Write> {
+    inner: S,
+    writer: TraceWriter<W>,
+}
+
+impl<S: TraceSource, W: Write> Record<S, W> {
+    /// Wraps `inner`, teeing to `writer` (whose header is already written).
+    pub fn new(inner: S, writer: TraceWriter<W>) -> Self {
+        Record { inner, writer }
+    }
+
+    /// Records pushed to the writer so far.
+    pub fn records_written(&self) -> u64 {
+        self.writer.records_written()
+    }
+
+    /// Flushes the writer and returns the inner source.
+    pub fn finish(self) -> Result<S, TraceError> {
+        self.writer.finish()?;
+        Ok(self.inner)
+    }
+}
+
+impl<S: TraceSource, W: Write + std::fmt::Debug> TraceSource for Record<S, W> {
+    fn threads(&self) -> u32 {
+        self.inner.threads()
+    }
+
+    fn identity(&self) -> String {
+        self.inner.identity()
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        let record = self.inner.next_record(thread)?;
+        if let Some(r) = &record {
+            self.writer.push(thread, r)?;
+        }
+        Ok(record)
+    }
+
+    // reset_thread deliberately keeps the default: rewinding a tee would
+    // re-record the rewound prefix.
+}
+
+/// Replays an `.sbt` file as a [`TraceSource`].
+///
+/// Each thread gets its own [`ThreadReader`] over an independent file
+/// handle, so the engine can interleave threads in any order with O(1)
+/// memory per stream.
+#[derive(Debug)]
+pub struct TraceFileSource {
+    path: PathBuf,
+    header: TraceHeader,
+    cursors: Vec<ThreadReader<BufReader<std::fs::File>>>,
+}
+
+impl TraceFileSource {
+    /// Opens `path` for replay.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let header = TraceReader::open(path)?.header().clone();
+        let cursors = (0..header.threads)
+            .map(|t| ThreadReader::open(path, t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TraceFileSource {
+            path: path.to_path_buf(),
+            header,
+            cursors,
+        })
+    }
+
+    /// The file's provenance header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The path being replayed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TraceSource for TraceFileSource {
+    fn threads(&self) -> u32 {
+        self.header.threads
+    }
+
+    fn identity(&self) -> String {
+        format!(
+            "sbt:{}:threads={}:fp={}:seed={}:src={}",
+            self.path.display(),
+            self.header.threads,
+            self.header.footprint_bytes,
+            self.header.seed,
+            self.header.source
+        )
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        match self.cursors.get_mut(thread as usize) {
+            Some(cursor) => cursor.next(),
+            None => Err(TraceError::ThreadOutOfRange {
+                threads: self.header.threads,
+                requested: thread,
+            }),
+        }
+    }
+
+    fn reset_thread(&mut self, thread: u32) -> Result<bool, TraceError> {
+        if thread >= self.header.threads {
+            return Err(TraceError::ThreadOutOfRange {
+                threads: self.header.threads,
+                requested: thread,
+            });
+        }
+        self.cursors[thread as usize] = ThreadReader::open(&self.path, thread)?;
+        Ok(true)
+    }
+}
+
+/// An in-memory source over explicit per-thread record vectors — the unit of
+/// account for compositor tests and a convenient way to hand-craft streams.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    name: String,
+    streams: Vec<Vec<TraceRecord>>,
+    positions: Vec<usize>,
+}
+
+impl VecSource {
+    /// A source named `name` over one record vector per thread.
+    pub fn new(name: &str, streams: Vec<Vec<TraceRecord>>) -> Self {
+        assert!(!streams.is_empty(), "at least one thread stream required");
+        let positions = vec![0; streams.len()];
+        VecSource {
+            name: name.to_string(),
+            streams,
+            positions,
+        }
+    }
+}
+
+impl TraceSource for VecSource {
+    fn threads(&self) -> u32 {
+        self.streams.len() as u32
+    }
+
+    fn identity(&self) -> String {
+        format!("vec:{}", self.name)
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        let t = thread as usize;
+        match self.streams.get(t) {
+            Some(stream) => {
+                let pos = self.positions[t];
+                if pos < stream.len() {
+                    self.positions[t] += 1;
+                    Ok(Some(stream[pos]))
+                } else {
+                    Ok(None)
+                }
+            }
+            None => Err(TraceError::ThreadOutOfRange {
+                threads: self.threads(),
+                requested: thread,
+            }),
+        }
+    }
+
+    fn reset_thread(&mut self, thread: u32) -> Result<bool, TraceError> {
+        if (thread as usize) < self.positions.len() {
+            self.positions[thread as usize] = 0;
+            Ok(true)
+        } else {
+            Err(TraceError::ThreadOutOfRange {
+                threads: self.threads(),
+                requested: thread,
+            })
+        }
+    }
+}
+
+/// Drains every stream of `source` into an `.sbt` file at `path`.
+///
+/// This is the offline "record without simulating" path: it pulls each
+/// thread's stream to exhaustion, or up to `limit_per_thread` records for
+/// unbounded generator sources.
+pub fn record_to_file<S: TraceSource>(
+    source: &mut S,
+    path: &Path,
+    header: &TraceHeader,
+    limit_per_thread: u64,
+) -> Result<u64, TraceError> {
+    let mut writer = TraceWriter::create(path, header)?;
+    for thread in 0..source.threads() {
+        let mut taken = 0u64;
+        while taken < limit_per_thread {
+            match source.next_record(thread)? {
+                Some(record) => writer.push(thread, &record)?,
+                None => break,
+            }
+            taken += 1;
+        }
+    }
+    let total = writer.records_written();
+    writer.finish()?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWriter;
+
+    fn records(n: u64, base: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord::read(i, base + i * 64))
+            .collect()
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("skybyte-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.sbt", std::process::id()))
+    }
+
+    #[test]
+    fn vec_source_streams_and_resets() {
+        let mut s = VecSource::new("a", vec![records(3, 0), records(2, 4096)]);
+        assert_eq!(s.threads(), 2);
+        assert_eq!(s.next_record(0).unwrap(), Some(TraceRecord::read(0, 0)));
+        assert_eq!(s.next_record(1).unwrap(), Some(TraceRecord::read(0, 4096)));
+        assert_eq!(s.next_record(0).unwrap(), Some(TraceRecord::read(1, 64)));
+        assert!(s.reset_thread(0).unwrap());
+        assert_eq!(s.next_record(0).unwrap(), Some(TraceRecord::read(0, 0)));
+        assert!(matches!(
+            s.next_record(7),
+            Err(TraceError::ThreadOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn record_tee_then_file_replay_is_identical() {
+        let path = tmp_path("tee");
+        let streams = vec![records(700, 0), records(650, 1 << 20)];
+        let header = TraceHeader {
+            threads: 2,
+            footprint_bytes: 2 << 20,
+            seed: 1,
+            source: "vec:a".into(),
+        };
+        let writer = TraceWriter::create(&path, &header).unwrap();
+        let mut tee = Record::new(VecSource::new("a", streams.clone()), writer);
+        // Interleave pulls the way an engine would.
+        let mut pulled: Vec<Vec<TraceRecord>> = vec![Vec::new(), Vec::new()];
+        loop {
+            let mut progressed = false;
+            for t in 0..2u32 {
+                if let Some(r) = tee.next_record(t).unwrap() {
+                    pulled[t as usize].push(r);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert_eq!(tee.records_written(), 1350);
+        tee.finish().unwrap();
+        assert_eq!(pulled, streams);
+
+        let mut replay = TraceFileSource::open(&path).unwrap();
+        assert_eq!(replay.header().source, "vec:a");
+        for (t, stream) in streams.iter().enumerate() {
+            let mut got = Vec::new();
+            while let Some(r) = replay.next_record(t as u32).unwrap() {
+                got.push(r);
+            }
+            assert_eq!(&got, stream, "thread {t}");
+        }
+        // Rewind one thread and replay it again.
+        assert!(replay.reset_thread(1).unwrap());
+        assert_eq!(replay.next_record(1).unwrap(), Some(streams[1][0]));
+        assert!(replay.identity().contains("vec:a"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_to_file_respects_limits() {
+        let path = tmp_path("limit");
+        let header = TraceHeader {
+            threads: 1,
+            footprint_bytes: 1 << 20,
+            seed: 0,
+            source: "vec:b".into(),
+        };
+        let mut src = VecSource::new("b", vec![records(100, 0)]);
+        let n = record_to_file(&mut src, &path, &header, 40).unwrap();
+        assert_eq!(n, 40);
+        let mut replay = TraceFileSource::open(&path).unwrap();
+        let mut count = 0;
+        while replay.next_record(0).unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 40);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            TraceFileSource::open(Path::new("/nonexistent/definitely-not-here.sbt")),
+            Err(TraceError::Io(_))
+        ));
+    }
+}

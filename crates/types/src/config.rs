@@ -567,6 +567,22 @@ pub enum VariantKind {
 }
 
 impl VariantKind {
+    /// Every design variant, in declaration order. Keep in sync when adding
+    /// a variant — `variant_from_name`-style lookups iterate this list.
+    pub const ALL: [VariantKind; 11] = [
+        VariantKind::BaseCssd,
+        VariantKind::SkyByteC,
+        VariantKind::SkyByteP,
+        VariantKind::SkyByteW,
+        VariantKind::SkyByteCP,
+        VariantKind::SkyByteWP,
+        VariantKind::SkyByteFull,
+        VariantKind::DramOnly,
+        VariantKind::SkyByteCT,
+        VariantKind::SkyByteWCT,
+        VariantKind::AstriFlashCxl,
+    ];
+
     /// The variants of the main ablation (Figure 14), in plot order.
     pub const MAIN_ABLATION: [VariantKind; 8] = [
         VariantKind::BaseCssd,
@@ -953,6 +969,23 @@ mod tests {
         assert!(VariantKind::DramOnly.dram_only());
         assert!(!VariantKind::SkyByteW.context_switch());
         assert!(VariantKind::SkyByteW.write_log());
+    }
+
+    #[test]
+    fn all_variants_are_listed_once() {
+        assert_eq!(VariantKind::ALL.len(), 11);
+        for (i, v) in VariantKind::ALL.iter().enumerate() {
+            assert!(
+                !VariantKind::ALL[i + 1..].contains(v),
+                "{v} listed twice in VariantKind::ALL"
+            );
+        }
+        for v in VariantKind::MAIN_ABLATION {
+            assert!(VariantKind::ALL.contains(&v));
+        }
+        for v in VariantKind::MIGRATION_COMPARISON {
+            assert!(VariantKind::ALL.contains(&v));
+        }
     }
 
     #[test]

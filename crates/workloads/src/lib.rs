@@ -35,10 +35,16 @@
 
 mod generator;
 mod locality;
+mod source;
 mod spec;
 mod zipf;
 
 pub use generator::{TraceGenerator, WorkUnit};
 pub use locality::{page_locality_cdf, LocalityCdf};
+pub use source::WorkloadSource;
 pub use spec::{table1_characteristics, AccessPattern, WorkloadKind, WorkloadSpec};
 pub use zipf::Zipf;
+
+// Re-export the trace abstraction so downstream crates can drive the
+// simulator from recorded or composed traces without naming skybyte-trace.
+pub use skybyte_trace::{TraceError, TraceRecord, TraceSource};

@@ -48,6 +48,11 @@ impl WorkloadKind {
         }
     }
 
+    /// Parses a paper workload name (as printed by [`Self::name`]).
+    pub fn from_name(name: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// The Table I characteristics and the synthetic access-pattern model of
     /// this workload.
     pub fn spec(self) -> WorkloadSpec {
@@ -306,5 +311,13 @@ mod tests {
     fn display_matches_paper_names() {
         assert_eq!(WorkloadKind::BfsDense.to_string(), "bfs-dense");
         assert_eq!(WorkloadKind::Dlrm.to_string(), "dlrm");
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::from_name("nope"), None);
     }
 }

@@ -10,5 +10,6 @@
 
 pub use skybyte_sim as sim;
 pub use skybyte_ssd as ssd;
+pub use skybyte_trace as trace;
 pub use skybyte_types as types;
 pub use skybyte_workloads as workloads;
