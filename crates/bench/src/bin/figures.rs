@@ -36,6 +36,7 @@ struct Options {
     jobs: Option<usize>,
     out: Option<PathBuf>,
     drive: TraceDrive,
+    audit: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
         jobs: None,
         out: None,
         drive: TraceDrive::Synthetic,
+        audit: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -114,14 +116,17 @@ fn parse_args() -> Result<Options, String> {
                     dir: PathBuf::from(dir),
                 };
             }
+            "--audit" => opts.audit = true,
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--all] [--fig N]... [--table N]... \
                      [--scale tiny|bench|default] [--jobs N] [--out DIR] \
-                     [--record-dir DIR | --replay-dir DIR]\n\n\
+                     [--record-dir DIR | --replay-dir DIR] [--audit]\n\n\
                      --out DIR          also write each regenerated table as DIR/<id>.csv\n\
                      --record-dir DIR   tee every simulation's workload stream to .sbt traces\n\
                      --replay-dir DIR   drive the simulations from recorded .sbt traces\n\
+                     --audit            run the cross-layer conservation audit on every\n\
+                     \u{20}                  simulation and fail on any violated invariant\n\
                      (see the `trace` binary for standalone record/replay/stat/mix)"
                 );
                 std::process::exit(0);
@@ -199,7 +204,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let runner = harness_runner(opts.jobs).with_drive(opts.drive.clone());
+    let runner = harness_runner(opts.jobs)
+        .with_drive(opts.drive.clone())
+        .with_audit(opts.audit);
     // Harness panics (a missing trace under --replay-dir, an invalid figure
     // number) should read as CLI errors, not backtraces: silence the hook,
     // catch the unwind, and report the payload on the binary's error path.
@@ -246,6 +253,24 @@ fn main() -> ExitCode {
              the corresponding series describe truncated executions",
             runner.truncated_runs()
         );
+    }
+    if opts.audit {
+        let failures = runner.audit_failures();
+        if failures.is_empty() {
+            eprintln!(
+                "[figures] conservation audit clean across {} simulation(s)",
+                runner.runs_executed()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("[figures] audit violation: {f}");
+            }
+            eprintln!(
+                "[figures] conservation audit FAILED for {} simulation(s)",
+                failures.len()
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -29,7 +29,7 @@ use skybyte_workloads::{WorkloadKind, WorkloadSource};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace <record|replay|stat|mix> [options]
+const USAGE: &str = "usage: trace <record|replay|stat|mix|verify-corpus> [options]
 
   record --workload NAME --out FILE [--scale tiny|bench|default]
          [--threads N] [--accesses N] [--seed N]
@@ -49,7 +49,15 @@ const USAGE: &str = "usage: trace <record|replay|stat|mix> [options]
       [--shift-stride BYTES] [--loop N]
       Compose INPUTs into a new trace: proportional interleave (mix) or
       back-to-back (concat); --shift-stride re-bases input i by i*BYTES;
-      --loop repeats each input N times.";
+      --loop repeats each input N times.
+
+  verify-corpus [--dir DIR] [--jobs N] [--pin] [--diff-out FILE]
+      Replay the golden-trace regression corpus (default DIR: corpus/) and
+      verify every trace x variant pair field-by-field against its pinned
+      golden result, plus the cross-layer conservation audit. --pin
+      re-records the traces and re-pins the goldens instead (byte-identical
+      for any --jobs value); --diff-out additionally writes the field-level
+      diff to FILE on mismatch (what CI uploads as an artifact).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +71,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(rest),
         "stat" => cmd_stat(rest),
         "mix" => cmd_mix(rest),
+        "verify-corpus" => cmd_verify_corpus(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -226,27 +235,9 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         .clone();
     let workload = workload_for_replay(workload, &header)?;
     // The trace defines the footprint and thread count; the scale defines
-    // the simulated device around it.
-    let scale = scale.with_footprint(header.footprint_bytes);
-    // Composed/shifted traces can outgrow the chosen device; fail with a
-    // hint instead of letting the FTL run out of capacity mid-simulation.
-    // (Every built-in scale keeps footprint <= flash/2 for GC headroom.)
-    if header.footprint_bytes.saturating_mul(2) > scale.flash_bytes() {
-        return Err(format!(
-            "trace footprint ({} bytes) needs a flash device of at least 2x \
-             that size, but this scale provides {} bytes; pick a larger \
-             --scale (tiny|bench|default)",
-            header.footprint_bytes,
-            scale.flash_bytes()
-        ));
-    }
-    let cfg = scale
-        .apply(SimConfig::default().with_variant(variant))
-        .with_threads(header.threads);
-    let sim = Simulation::with_config(cfg, workload, &scale);
-    let result = sim
-        .run_trace_file(&trace)
-        .map_err(|e| format!("replay failed: {e}"))?;
+    // the simulated device around it (shared with the golden corpus via
+    // `replay_trace_file`, capacity guard included).
+    let result = skybyte_bench::replay_trace_file(&trace, &header, variant, workload, scale)?;
     println!("replayed {} as {variant} ({workload})", trace.display());
     print_summary(&result);
     Ok(())
@@ -287,6 +278,63 @@ fn cmd_stat(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot stat {}: {e}", trace.display()))?;
     print!("{}", stats.render(&header));
     Ok(())
+}
+
+fn cmd_verify_corpus(args: &[String]) -> Result<(), String> {
+    let mut dir = PathBuf::from("corpus");
+    // Output is byte-identical for any job count (locked by
+    // crates/bench/tests/corpus.rs), so default to full parallelism.
+    let mut jobs: usize = skybyte_sim::runner::default_parallelism();
+    let mut pin = false;
+    let mut diff_out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => dir = PathBuf::from(value(args, &mut i, "--dir")?),
+            "--jobs" | "-j" => {
+                let n = parse_u64(value(args, &mut i, "--jobs")?, "job count")? as usize;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = n;
+            }
+            "--pin" => pin = true,
+            "--diff-out" => diff_out = Some(PathBuf::from(value(args, &mut i, "--diff-out")?)),
+            other => return Err(format!("unknown verify-corpus argument '{other}'")),
+        }
+        i += 1;
+    }
+    if pin {
+        let pairs = skybyte_bench::corpus::pin(&dir, jobs)?;
+        println!(
+            "pinned {pairs} golden results ({} traces x {} variants) under {}",
+            skybyte_bench::corpus::entries().len(),
+            skybyte_bench::corpus::CORPUS_VARIANTS.len(),
+            dir.display()
+        );
+        return Ok(());
+    }
+    let report = skybyte_bench::corpus::verify(&dir, jobs)?;
+    if report.is_clean() {
+        println!(
+            "verified {} trace x variant pairs against {}: all golden results \
+             reproduced, conservation audit clean",
+            report.pairs,
+            dir.display()
+        );
+        return Ok(());
+    }
+    let rendered = report.render_failures();
+    if let Some(path) = &diff_out {
+        std::fs::write(path, rendered.clone() + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote field-level diff to {}", path.display());
+    }
+    Err(format!(
+        "{} of {} corpus pairs diverged:\n{rendered}",
+        report.failures.len(),
+        report.pairs
+    ))
 }
 
 /// Parses `FILE[:WEIGHT]` (the weight defaults to 1).

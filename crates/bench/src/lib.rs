@@ -19,9 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
+
 use skybyte_sim::runner::default_parallelism;
-use skybyte_sim::{ExperimentScale, Runner};
-use skybyte_types::VariantKind;
+use skybyte_sim::{ExperimentScale, Runner, SimResult, Simulation};
+use skybyte_trace::TraceHeader;
+use skybyte_types::{SimConfig, VariantKind};
+use skybyte_workloads::WorkloadKind;
+use std::path::Path;
 
 /// The scale used by the Criterion figure benchmarks: small enough that one
 /// simulation takes well under a second.
@@ -53,6 +58,41 @@ pub fn variant_from_name(name: &str) -> Option<VariantKind> {
     VariantKind::ALL
         .into_iter()
         .find(|v| v.to_string().eq_ignore_ascii_case(name))
+}
+
+/// Replays an `.sbt` trace file as one full simulation: the trace (via its
+/// `header`) defines the footprint, thread count and amount of work, `scale`
+/// defines the simulated device around it, and `workload` is the label the
+/// result carries.
+///
+/// This is the single replay-configuration path shared by `trace replay` and
+/// the golden corpus ([`corpus`]), so the two can never drift apart. It
+/// enforces the capacity guard: composed/shifted traces can outgrow the
+/// chosen device, and every built-in scale keeps footprint ≤ flash/2 for GC
+/// headroom — failing with a hint beats an FTL panic mid-simulation.
+pub fn replay_trace_file(
+    path: &Path,
+    header: &TraceHeader,
+    variant: VariantKind,
+    workload: WorkloadKind,
+    scale: ExperimentScale,
+) -> Result<SimResult, String> {
+    let scale = scale.with_footprint(header.footprint_bytes);
+    if header.footprint_bytes.saturating_mul(2) > scale.flash_bytes() {
+        return Err(format!(
+            "trace footprint ({} bytes) needs a flash device of at least 2x \
+             that size, but this scale provides {} bytes; pick a larger \
+             --scale (tiny|bench|default)",
+            header.footprint_bytes,
+            scale.flash_bytes()
+        ));
+    }
+    let cfg = scale
+        .apply(SimConfig::default().with_variant(variant))
+        .with_threads(header.threads);
+    Simulation::with_config(cfg, workload, &scale)
+        .run_trace_file(path)
+        .map_err(|e| format!("replay failed: {e}"))
 }
 
 #[cfg(test)]

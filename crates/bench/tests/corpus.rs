@@ -1,0 +1,98 @@
+//! Integration tests of the golden-trace regression corpus.
+
+use skybyte_bench::corpus::{entries, pin, verify, CORPUS_VARIANTS};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skybyte-corpus-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The checked-in corpus at the repository root.
+fn repo_corpus() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("corpus")
+}
+
+#[test]
+fn checked_in_corpus_verifies_clean() {
+    let report = verify(&repo_corpus(), 2).expect("verify must run");
+    assert_eq!(
+        report.pairs,
+        entries().len() * CORPUS_VARIANTS.len(),
+        "every trace x variant pair must be covered"
+    );
+    assert!(
+        report.is_clean(),
+        "checked-in corpus diverged:\n{}",
+        report.render_failures()
+    );
+}
+
+#[test]
+fn pinning_is_byte_identical_across_job_counts() {
+    let a = scratch("pin-j1");
+    let b = scratch("pin-j4");
+    pin(&a, 1).unwrap();
+    pin(&b, 4).unwrap();
+    for sub in ["traces", "golden"] {
+        let mut names: Vec<_> = std::fs::read_dir(a.join(sub))
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        names.sort();
+        assert!(!names.is_empty());
+        for name in names {
+            let x = std::fs::read(a.join(sub).join(&name)).unwrap();
+            let y = std::fs::read(b.join(sub).join(&name)).unwrap();
+            assert_eq!(x, y, "{sub}/{name:?} differs between --jobs 1 and 4");
+        }
+    }
+    // And a freshly pinned corpus trivially verifies.
+    let report = verify(&a, 4).unwrap();
+    assert!(report.is_clean(), "{}", report.render_failures());
+    std::fs::remove_dir_all(&a).ok();
+    std::fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn verification_reports_the_divergent_fields() {
+    let dir = scratch("tamper");
+    pin(&dir, 2).unwrap();
+    // Tamper with one golden's exec_time: the diff must name the field and
+    // only that pair may fail.
+    let victim = entries()[0].golden_path(&dir, CORPUS_VARIANTS[0]);
+    let json = std::fs::read_to_string(&victim).unwrap();
+    let tampered = json.replacen("\"exec_time\": ", "\"exec_time\": 1", 1);
+    assert_ne!(json, tampered, "tampering must change the golden");
+    std::fs::write(&victim, tampered).unwrap();
+    let report = verify(&dir, 2).unwrap();
+    assert_eq!(report.failures.len(), 1, "{}", report.render_failures());
+    let failure = &report.failures[0];
+    assert!(
+        failure.contains("exec_time:"),
+        "diff must name the field: {failure}"
+    );
+    assert!(
+        failure.contains(entries()[0].name),
+        "diff must name the pair: {failure}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_goldens_point_at_pin() {
+    let dir = scratch("missing");
+    pin(&dir, 2).unwrap();
+    std::fs::remove_file(entries()[1].golden_path(&dir, CORPUS_VARIANTS[1])).unwrap();
+    let report = verify(&dir, 2).unwrap();
+    assert_eq!(report.failures.len(), 1);
+    assert!(
+        report.failures[0].contains("--pin"),
+        "{}",
+        report.failures[0]
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

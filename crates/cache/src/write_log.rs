@@ -88,6 +88,14 @@ impl PageFlush {
 }
 
 /// Counters describing write-log activity.
+///
+/// The entry counters obey a conservation law that the cross-layer audit
+/// checks on every run: every append either creates a log entry or
+/// overwrites one in place, and every created entry is eventually retired at
+/// buffer-freeze time as either *live* (carried into a compaction flush) or
+/// *stale* (superseded or invalidated before the freeze) — so
+/// `appends - overwrites_in_place == entries_retired_live +
+/// entries_retired_stale + resident entries`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WriteLogStats {
     /// Cacheline writes appended.
@@ -100,6 +108,16 @@ pub struct WriteLogStats {
     pub compactions: u64,
     /// Appends absorbed while both buffers were full (back-pressure).
     pub back_pressure_appends: u64,
+    /// Back-pressure appends that updated an existing entry in place instead
+    /// of creating a new one (they do not add to the entry population).
+    pub overwrites_in_place: u64,
+    /// Entries retired at buffer freeze carrying the latest version of their
+    /// cacheline (the compaction flush inflow).
+    pub entries_retired_live: u64,
+    /// Entries retired at buffer freeze that had been superseded by a newer
+    /// append or invalidated by a page promotion (dropped without reaching
+    /// flash).
+    pub entries_retired_stale: u64,
 }
 
 /// One log buffer: a bounded append-only array plus its index.
@@ -130,12 +148,15 @@ impl LogBuffer {
     }
 
     /// Overwrites the latest entry for (lpa, cl) in place; used only under
-    /// back-pressure when the buffer is full.
-    fn overwrite_or_append(&mut self, lpa: Lpa, cl: CachelineIndex, token: u64) {
+    /// back-pressure when the buffer is full. Returns whether an existing
+    /// entry was overwritten (false: a new entry was appended).
+    fn overwrite_or_append(&mut self, lpa: Lpa, cl: CachelineIndex, token: u64) -> bool {
         if let Some(off) = self.index.lookup(lpa, cl) {
             self.entries[off as usize].token = token;
+            true
         } else {
             self.append(lpa, cl, token);
+            false
         }
     }
 
@@ -207,7 +228,9 @@ impl WriteLog {
                 // Compaction of the other buffer has not finished: absorb the
                 // write in place (models the request stalling briefly).
                 self.stats.back_pressure_appends += 1;
-                self.active.overwrite_or_append(lpa, cl, token);
+                if self.active.overwrite_or_append(lpa, cl, token) {
+                    self.stats.overwrites_in_place += 1;
+                }
                 return AppendOutcome {
                     log_full: true,
                     back_pressure: true,
@@ -348,7 +371,21 @@ impl WriteLog {
         &self.stats
     }
 
+    /// Number of log entries currently held in the active buffer (including
+    /// superseded versions that have not been frozen away yet). Frozen
+    /// entries are excluded: they were already classified live/stale when
+    /// their buffer froze.
+    pub fn resident_entries(&self) -> u64 {
+        self.active.entries.len() as u64
+    }
+
     fn freeze_active(&mut self) {
+        // Classify every entry of the freezing buffer for the conservation
+        // accounting: entries still indexed carry the latest version of their
+        // cacheline (live); the rest were superseded or invalidated (stale).
+        let live = self.active.index.cacheline_count() as u64;
+        self.stats.entries_retired_live += live;
+        self.stats.entries_retired_stale += self.active.entries.len() as u64 - live;
         let fresh = LogBuffer::new(self.capacity_entries, self.load_factor);
         self.frozen = Some(std::mem::replace(&mut self.active, fresh));
     }
@@ -488,6 +525,89 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn rejects_tiny_log() {
         let _ = WriteLog::new(64, 0.75);
+    }
+
+    /// The conservation law the cross-layer audit checks:
+    /// `appends - overwrites_in_place == retired_live + retired_stale +
+    /// resident`.
+    fn assert_conserved(log: &WriteLog) {
+        let s = log.stats();
+        assert_eq!(
+            s.appends - s.overwrites_in_place,
+            s.entries_retired_live + s.entries_retired_stale + log.resident_entries(),
+            "write-log entry conservation violated: {s:?}, resident {}",
+            log.resident_entries()
+        );
+    }
+
+    #[test]
+    fn entry_conservation_across_compactions_and_invalidations() {
+        let mut log = small_log(); // 16 entries per buffer
+                                   // Superseded writes become stale at freeze time.
+        log.append(Lpa::new(1), 0, 1);
+        log.append(Lpa::new(1), 0, 2);
+        log.append(Lpa::new(2), 3, 3);
+        // Invalidated pages become stale too.
+        log.append(Lpa::new(9), 5, 4);
+        log.invalidate_page(Lpa::new(9));
+        assert_conserved(&log);
+        let plan = log.start_compaction().unwrap();
+        assert_eq!(log.stats().entries_retired_live, 2);
+        assert_eq!(log.stats().entries_retired_stale, 2);
+        assert_eq!(
+            plan.cacheline_count() as u64,
+            log.stats().entries_retired_live
+        );
+        assert_conserved(&log);
+        log.finish_compaction();
+        // New writes land in the fresh buffer and stay resident.
+        log.append(Lpa::new(5), 1, 5);
+        assert_eq!(log.resident_entries(), 1);
+        assert_conserved(&log);
+    }
+
+    #[test]
+    fn back_pressure_overwrites_do_not_create_entries() {
+        let mut log = small_log();
+        let cap = log.capacity() as u64;
+        for i in 0..cap {
+            log.append(Lpa::new(i), 0, i);
+        }
+        let _plan = log.start_compaction().unwrap();
+        for i in 0..cap {
+            log.append(Lpa::new(1000 + i), 0, i);
+        }
+        // Both buffers full: an overwrite of an existing entry is in-place…
+        log.append(Lpa::new(1000), 0, 42);
+        assert_eq!(log.stats().overwrites_in_place, 1);
+        // …while a back-pressure append of a fresh cacheline creates one.
+        log.append(Lpa::new(2000), 0, 43);
+        assert_eq!(log.stats().overwrites_in_place, 1);
+        assert!(log.stats().back_pressure_appends >= 2);
+        assert_conserved(&log);
+    }
+
+    proptest! {
+        /// Entry conservation holds for arbitrary append/compact/invalidate
+        /// interleavings.
+        #[test]
+        fn prop_entry_conservation(ops in proptest::collection::vec((0u64..12, 0u8..4, 0u8..16), 1..250)) {
+            let mut log = WriteLog::new(2048, 0.75); // 16 entries/buffer
+            for (i, (page, cl, action)) in ops.iter().enumerate() {
+                match action % 8 {
+                    6 => { log.invalidate_page(Lpa::new(*page)); }
+                    7 => {
+                        if log.compaction_in_progress() {
+                            log.finish_compaction();
+                        } else {
+                            let _ = log.start_compaction();
+                        }
+                    }
+                    _ => { let _ = log.append(Lpa::new(*page), *cl, i as u64); }
+                }
+                assert_conserved(&log);
+            }
+        }
     }
 
     proptest! {

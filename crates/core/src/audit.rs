@@ -1,0 +1,312 @@
+//! The cross-layer conservation audit.
+//!
+//! Every [`SimResult`] carries both the derived figures the paper plots and a
+//! raw [`LayerCounters`](crate::metrics::LayerCounters) snapshot of each
+//! device layer. This module ties them together with **named invariants** —
+//! conservation laws that must hold for *every* run of *every* variant on
+//! *every* workload. A violated invariant means an accounting bug somewhere
+//! in the stack, and the report names it, so a refactor that silently drifts
+//! a counter fails loudly instead of quietly changing a figure.
+//!
+//! The invariants (stable names, what tests and CI grep for):
+//!
+//! | name | law |
+//! |------|-----|
+//! | `requests-conservation` | classified SSD requests + squashed == `ssd_accesses` |
+//! | `amat-histogram-agreement` | `amat.accesses` == latency-histogram sample count |
+//! | `latency-ordering` | histogram min ≤ mean ≤ max |
+//! | `flash-busy-bounded` | `flash_busy_time` ≤ `exec_time × flash_channels` |
+//! | `compaction-time-bounded` | `compaction_time` ≤ `exec_time` |
+//! | `ftl-page-conservation` | host pages written + GC relocations == pages programmed |
+//! | `flash-ftl-program-agreement` | flash-side program count == FTL-side program count |
+//! | `flash-traffic-agreement` | headline flash traffic == flash-layer counters |
+//! | `write-amplification` | WAF ≥ 1 and equals the FTL's own ratio |
+//! | `write-log-conservation` | log appends == in-place overwrites + retired live + stale + resident |
+//! | `write-log-append-agreement` | controller appends == write-log appends |
+//! | `ssd-access-agreement` | controller reads + writes == engine `ssd_accesses` |
+//! | `read-path-partition` | reads == log hits + cache hits + zero fills + flash misses |
+//! | `squash-context-switch-agreement` | squashed accesses == scheduler context switches |
+//! | `migration-agreement` | promotion/demotion counters agree across OS, SSD and engine |
+//! | `migration-cadence` | policy runs ≤ one per access window |
+//! | `boundedness-exec-window` | `exec_time` ≤ Σ per-core accounted time ≤ `exec_time × cores` |
+//! | `compaction-count-agreement` | headline compaction count == controller counter |
+//! | `progress` | a run that classified requests took nonzero time |
+//!
+//! # Example
+//!
+//! ```
+//! use skybyte_sim::{ExperimentScale, Simulation};
+//! use skybyte_types::VariantKind;
+//! use skybyte_workloads::WorkloadKind;
+//!
+//! let scale = ExperimentScale::tiny().with_accesses_per_thread(50);
+//! let (result, report) =
+//!     Simulation::build(VariantKind::SkyByteFull, WorkloadKind::Ycsb, &scale).audit();
+//! report.assert_clean(&format!("{} on {}", result.variant, result.workload));
+//! ```
+
+use crate::engine::MIGRATION_PERIOD_ACCESSES;
+use crate::metrics::SimResult;
+use skybyte_types::{AuditReport, Nanos};
+
+/// Evaluates every conservation invariant against one run's result.
+///
+/// The returned report is clean iff every law holds; see the module
+/// documentation for the invariant list.
+pub fn audit(r: &SimResult) -> AuditReport {
+    let mut a = AuditReport::new();
+
+    let classified_ssd = r.requests.ssd_read_hit + r.requests.ssd_read_miss + r.requests.ssd_write;
+    a.check(
+        "requests-conservation",
+        classified_ssd + r.squashed_accesses == r.ssd_accesses,
+        || {
+            format!(
+                "classified SSD requests ({classified_ssd}) + squashed \
+                 ({}) != ssd_accesses ({})",
+                r.squashed_accesses, r.ssd_accesses
+            )
+        },
+    );
+
+    a.check(
+        "amat-histogram-agreement",
+        r.amat.accesses == r.latency_hist.count(),
+        || {
+            format!(
+                "amat.accesses ({}) != latency_hist.count() ({})",
+                r.amat.accesses,
+                r.latency_hist.count()
+            )
+        },
+    );
+
+    a.check(
+        "latency-ordering",
+        r.latency_hist.min() <= r.latency_hist.mean()
+            && r.latency_hist.mean() <= r.latency_hist.max(),
+        || {
+            format!(
+                "histogram min ({}) / mean ({}) / max ({}) out of order",
+                r.latency_hist.min(),
+                r.latency_hist.mean(),
+                r.latency_hist.max()
+            )
+        },
+    );
+
+    let capacity = r.exec_time * r.flash_channels as u64;
+    a.check("flash-busy-bounded", r.flash_busy_time <= capacity, || {
+        format!(
+            "flash_busy_time ({}) exceeds exec_time ({}) x {} channels \
+                 ({capacity}) — over-unity bandwidth utilisation",
+            r.flash_busy_time, r.exec_time, r.flash_channels
+        )
+    });
+
+    a.check(
+        "compaction-time-bounded",
+        r.compaction_time <= r.exec_time,
+        || {
+            format!(
+                "compaction_time ({}) exceeds exec_time ({})",
+                r.compaction_time, r.exec_time
+            )
+        },
+    );
+
+    let ftl = &r.layers.ftl;
+    a.check(
+        "ftl-page-conservation",
+        ftl.host_pages_written + ftl.gc_pages_relocated == ftl.flash_pages_programmed,
+        || {
+            format!(
+                "host pages written ({}) + GC relocations ({}) != pages \
+                 programmed ({})",
+                ftl.host_pages_written, ftl.gc_pages_relocated, ftl.flash_pages_programmed
+            )
+        },
+    );
+
+    a.check(
+        "flash-ftl-program-agreement",
+        r.layers.flash.pages_programmed == ftl.flash_pages_programmed,
+        || {
+            format!(
+                "flash-side programs ({}) != FTL-side programs ({})",
+                r.layers.flash.pages_programmed, ftl.flash_pages_programmed
+            )
+        },
+    );
+
+    a.check(
+        "flash-traffic-agreement",
+        r.flash_pages_programmed == r.layers.flash.pages_programmed
+            && r.flash_pages_read == r.layers.flash.pages_read,
+        || {
+            format!(
+                "headline flash traffic (programmed {}, read {}) != flash \
+                 layer counters (programmed {}, read {})",
+                r.flash_pages_programmed,
+                r.flash_pages_read,
+                r.layers.flash.pages_programmed,
+                r.layers.flash.pages_read
+            )
+        },
+    );
+
+    let ftl_waf = ftl.write_amplification();
+    a.check(
+        "write-amplification",
+        r.write_amplification >= 1.0 && (r.write_amplification - ftl_waf).abs() < 1e-9,
+        || {
+            format!(
+                "write amplification {} must be >= 1 and equal the FTL's \
+                 ratio ({ftl_waf})",
+                r.write_amplification
+            )
+        },
+    );
+
+    if let Some(wl) = &r.layers.write_log {
+        // Addition form (never `appends - overwrites`): the audit must report
+        // a corrupted counter as a named violation, not panic on underflow.
+        let retired = wl.entries_retired_live + wl.entries_retired_stale;
+        let resident = r.layers.write_log_resident_entries;
+        a.check(
+            "write-log-conservation",
+            wl.appends == wl.overwrites_in_place + retired + resident,
+            || {
+                format!(
+                    "log appends ({}) != overwrites in place ({}) + retired \
+                     live ({}) + retired stale ({}) + resident ({resident})",
+                    wl.appends,
+                    wl.overwrites_in_place,
+                    wl.entries_retired_live,
+                    wl.entries_retired_stale
+                )
+            },
+        );
+        a.check(
+            "write-log-append-agreement",
+            r.layers.ssd.write_log_appends == wl.appends,
+            || {
+                format!(
+                    "controller append count ({}) != write-log append count ({})",
+                    r.layers.ssd.write_log_appends, wl.appends
+                )
+            },
+        );
+    }
+
+    let ssd = &r.layers.ssd;
+    a.check(
+        "ssd-access-agreement",
+        ssd.reads + ssd.writes == r.ssd_accesses,
+        || {
+            format!(
+                "controller reads ({}) + writes ({}) != engine ssd_accesses ({})",
+                ssd.reads, ssd.writes, r.ssd_accesses
+            )
+        },
+    );
+
+    a.check(
+        "read-path-partition",
+        ssd.reads
+            == ssd.read_log_hits
+                + ssd.read_cache_hits
+                + ssd.read_zero_fills
+                + ssd.read_flash_misses,
+        || {
+            format!(
+                "reads ({}) != log hits ({}) + cache hits ({}) + zero fills \
+                 ({}) + flash misses ({})",
+                ssd.reads,
+                ssd.read_log_hits,
+                ssd.read_cache_hits,
+                ssd.read_zero_fills,
+                ssd.read_flash_misses
+            )
+        },
+    );
+
+    a.check(
+        "squash-context-switch-agreement",
+        r.squashed_accesses == r.context_switches,
+        || {
+            format!(
+                "squashed accesses ({}) != scheduler context switches ({})",
+                r.squashed_accesses, r.context_switches
+            )
+        },
+    );
+
+    let mig = &r.layers.migration;
+    a.check(
+        "migration-agreement",
+        r.pages_promoted == mig.promotions
+            && r.pages_demoted == mig.demotions
+            && ssd.pages_promoted == mig.promotions,
+        || {
+            format!(
+                "promotion/demotion counters disagree: engine ({}/{}), \
+                 migration ({}/{}), ssd promoted ({})",
+                r.pages_promoted,
+                r.pages_demoted,
+                mig.promotions,
+                mig.demotions,
+                ssd.pages_promoted
+            )
+        },
+    );
+
+    let windows = r.ssd_accesses / MIGRATION_PERIOD_ACCESSES + 1;
+    a.check("migration-cadence", r.migration_runs <= windows, || {
+        format!(
+            "migration ran {} times over {} SSD accesses (max one per \
+             {MIGRATION_PERIOD_ACCESSES}-access window => {windows})",
+            r.migration_runs, r.ssd_accesses
+        )
+    });
+
+    // Each core's clock advances by exactly what its boundedness buckets
+    // account, so the totals bracket the execution time.
+    let accounted = r.boundedness.total();
+    let upper = r.exec_time * r.cores as u64;
+    a.check(
+        "boundedness-exec-window",
+        accounted <= upper && (r.exec_time == Nanos::ZERO || accounted >= r.exec_time),
+        || {
+            format!(
+                "boundedness total ({accounted}) outside [exec_time ({}), \
+                 exec_time x {} cores ({upper})]",
+                r.exec_time, r.cores
+            )
+        },
+    );
+
+    a.check(
+        "compaction-count-agreement",
+        r.compactions == ssd.compactions,
+        || {
+            format!(
+                "headline compaction count ({}) != controller counter ({})",
+                r.compactions, ssd.compactions
+            )
+        },
+    );
+
+    a.check(
+        "progress",
+        r.requests.total() == 0 || r.exec_time > Nanos::ZERO,
+        || {
+            format!(
+                "{} classified requests but zero execution time",
+                r.requests.total()
+            )
+        },
+    );
+
+    a
+}

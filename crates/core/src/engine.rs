@@ -10,7 +10,7 @@
 //! expected in SSD DRAM, and the scheduler picks another thread for the core
 //! (Figure 7). Page migrations run in the background between accesses.
 
-use crate::metrics::{AmatBreakdown, RequestBreakdown, SimResult};
+use crate::metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult};
 use crate::migration::{MigrationContext, MigrationEngine};
 use crate::scale::ExperimentScale;
 use crate::thread_exec::ThreadExecutor;
@@ -24,8 +24,9 @@ use skybyte_workloads::{TraceSource, WorkloadKind, WorkloadSource};
 use std::path::{Path, PathBuf};
 
 /// How often (in SSD accesses, squashed or not) the background migration
-/// policy gets a chance to promote a page.
-const MIGRATION_PERIOD_ACCESSES: u64 = 64;
+/// policy gets a chance to promote a page. Public so the conservation audit
+/// can bound `migration_runs` per access window.
+pub const MIGRATION_PERIOD_ACCESSES: u64 = 64;
 
 /// A process-unique token for record temp-file names, so concurrent runner
 /// workers recording the same stream never collide.
@@ -164,6 +165,22 @@ impl Simulation {
             .unwrap_or_else(|e| panic!("trace drive failed: {e}"))
     }
 
+    /// Runs the simulation and evaluates the cross-layer conservation audit
+    /// ([`crate::audit`]) against its result. A dirty report means a counter
+    /// stopped conserving somewhere in the stack — the report names the
+    /// violated invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run); the audit
+    /// itself never panics (callers decide whether a violation is fatal via
+    /// [`skybyte_types::AuditReport::assert_clean`]).
+    pub fn audit(&self) -> (SimResult, skybyte_types::AuditReport) {
+        let result = self.run();
+        let report = crate::audit::audit(&result);
+        (result, report)
+    }
+
     /// Runs the simulation, materialising the trace source described by the
     /// drive: live generation, generation teed to disk, or file replay.
     ///
@@ -298,6 +315,9 @@ impl Simulation {
         // parked on a multiple of the period would re-fire the policy on
         // every access.
         let mut ssd_accesses: u64 = 0;
+        // Squashed accesses alone: the audit's requests-conservation
+        // invariant ties `classified SSD requests + squashed == ssd_accesses`.
+        let mut squashed_accesses: u64 = 0;
 
         let max_steps = threads as u64 * self.scale.accesses_per_thread * 64 + 1_000_000;
         let mut steps: u64 = 0;
@@ -399,6 +419,7 @@ impl Simulation {
 
                     if will_switch {
                         // Long Delay Exception: squash, block, switch.
+                        squashed_accesses += 1;
                         let cs = cfg.context_switch_overhead;
                         boundedness[core].context_switch += cs;
                         execs[tid.0 as usize].push_back(unit);
@@ -414,7 +435,11 @@ impl Simulation {
                         } else {
                             port.deliver_cacheline(outcome.ready_at)
                         };
-                        let latency = response.saturating_sub(t);
+                        // Monotone by construction (the port never answers
+                        // before the request); `since` fails loudly if an
+                        // accounting bug ever breaks that, instead of the old
+                        // `saturating_sub` masking it as a zero latency.
+                        let latency = response.since(t);
                         let stall = core_model.effective_stall(latency);
                         boundedness[core].memory += stall;
                         sched.account_runtime(tid, stall);
@@ -459,6 +484,12 @@ impl Simulation {
         }
 
         let exec_time = core_clock.iter().copied().fold(Nanos::ZERO, Nanos::max);
+        // Busy-time figures describe the measured window [0, exec_time], so
+        // they are sampled *before* the end-of-run flush: service committed
+        // to a still-draining backlog (and the flush traffic itself) must not
+        // inflate utilisation past the window's physical capacity.
+        let flash_busy_time = ssd.flash_busy_time_within(exec_time);
+        let compaction_time = ssd.compaction_time_within(exec_time);
         // Flush all dirty state (cached dirty pages / the write log) so the
         // flash write traffic of page-granular and log-structured designs is
         // compared on equal footing.
@@ -467,6 +498,18 @@ impl Simulation {
         for b in &boundedness {
             total_boundedness.merge(b);
         }
+
+        // Raw per-layer counters, snapshot after the flush so they describe
+        // the complete run (the conservation laws only close once every
+        // dirty page and log entry has reached flash).
+        let layers = LayerCounters {
+            ssd: *ssd.stats(),
+            flash: *ssd.flash_stats(),
+            ftl: *ssd.ftl_stats(),
+            write_log: ssd.write_log_stats().copied(),
+            write_log_resident_entries: ssd.write_log_resident_entries().unwrap_or(0),
+            migration: *migration.stats(),
+        };
 
         SimResult {
             variant: cfg.variant,
@@ -487,13 +530,16 @@ impl Simulation {
             pages_promoted: migration.stats().promotions,
             pages_demoted: migration.stats().demotions,
             compactions: ssd.stats().compactions,
+            compaction_time,
             log_index_bytes: ssd.write_log_index_bytes().unwrap_or(0),
-            flash_busy_time: ssd.flash_busy_time(),
+            flash_busy_time,
             flash_channels: cfg.ssd.geometry.channels,
             gc_campaigns: ssd.ftl_stats().gc_campaigns,
             ssd_accesses,
+            squashed_accesses,
             migration_runs: migration.stats().runs,
             truncated,
+            layers,
         }
     }
 }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
@@ -46,7 +47,7 @@ pub mod scale;
 pub mod thread_exec;
 
 pub use engine::{Simulation, TraceDrive};
-pub use metrics::{AmatBreakdown, RequestBreakdown, SimResult};
+pub use metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult};
 pub use migration::MigrationEngine;
 pub use report::{figure_table, paper_table, render_figure, render_table};
 pub use runner::{RunRequest, Runner};

@@ -1,7 +1,9 @@
 //! End-to-end metrics produced by a simulation run.
 
+use crate::migration::MigrationStats;
 use serde::{Deserialize, Serialize};
 use skybyte_cpu::Boundedness;
+use skybyte_ssd::{FlashStats, FtlStats, SsdStats, WriteLogStats};
 use skybyte_types::{LatencyHistogram, Nanos, RatioBreakdown, VariantKind};
 
 /// Average-memory-access-time accounting in the five components of
@@ -103,6 +105,32 @@ impl RequestBreakdown {
     }
 }
 
+/// A post-run snapshot of every device layer's raw counters.
+///
+/// The headline [`SimResult`] fields are *derived* figures (the quantities
+/// the paper plots); this snapshot preserves the underlying per-layer
+/// counters they were derived from, so the conservation audit
+/// (`skybyte_sim::audit`) can reconcile the layers against each other —
+/// e.g. FTL page conservation against the flash array's program count, or
+/// the write log's entry population against the controller's append count.
+/// Taken *after* the end-of-run flush, so it describes the complete run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerCounters {
+    /// SSD-controller counters (request routing, compaction, prefetch).
+    pub ssd: SsdStats,
+    /// Flash-array traffic counters (reads/programs/erases and latencies).
+    pub flash: FlashStats,
+    /// FTL counters (host writes, GC relocations, erases).
+    pub ftl: FtlStats,
+    /// Write-log counters, when the log is enabled.
+    pub write_log: Option<WriteLogStats>,
+    /// Entries resident in the write log's active buffer after the final
+    /// flush (0 when the log is disabled or fully drained).
+    pub write_log_resident_entries: u64,
+    /// Page-migration counters (promotions, demotions, shootdowns).
+    pub migration: MigrationStats,
+}
+
 /// Everything measured by one simulation run.
 ///
 /// `PartialEq` compares every field, which is how the trace subsystem's
@@ -146,9 +174,20 @@ pub struct SimResult {
     pub pages_demoted: u64,
     /// Log compactions executed.
     pub compactions: u64,
+    /// Compaction busy time inside the measured window `[0, exec_time]`:
+    /// a union measure of the campaign windows (overlapping campaigns are
+    /// counted once; a campaign arriving on a lagging core clock entirely
+    /// inside an already-covered gap is conservatively dropped rather than
+    /// double-counted), clamped to the execution horizon. The audit asserts
+    /// it never exceeds `exec_time`.
+    pub compaction_time: Nanos,
     /// Peak memory footprint of the write-log index (0 when disabled).
     pub log_index_bytes: u64,
-    /// Aggregate busy time of all flash channels.
+    /// Aggregate busy time of all flash channels inside the measured window
+    /// `[0, exec_time]`. Service committed to a backlog still draining when
+    /// the run ends (and the end-of-run flush) is excluded, so this is
+    /// bounded by `exec_time × flash_channels` — which makes
+    /// [`Self::ssd_bandwidth_utilisation`] a true fraction with no clamp.
     pub flash_busy_time: Nanos,
     /// Number of flash channels (for bandwidth-utilisation normalisation).
     pub flash_channels: u32,
@@ -157,11 +196,17 @@ pub struct SimResult {
     /// SSD accesses issued over the CXL port, including squashed
     /// (context-switched) accesses that are excluded from [`Self::requests`].
     pub ssd_accesses: u64,
+    /// SSD accesses squashed by a `SkyByte-Delay` long-delay exception (the
+    /// thread blocked and re-issued the access later). Together with the
+    /// classified SSD requests these must add up to [`Self::ssd_accesses`].
+    pub squashed_accesses: u64,
     /// Invocations of the background page-migration policy.
     pub migration_runs: u64,
     /// True when the run hit the engine's step limit before every thread
     /// finished — the metrics then describe a truncated execution.
     pub truncated: bool,
+    /// Raw per-layer counter snapshot backing the derived figures above.
+    pub layers: LayerCounters,
 }
 
 impl SimResult {
@@ -188,13 +233,17 @@ impl SimResult {
 
     /// Average flash-channel utilisation over the run (the Figure 15 line
     /// metric, "SSD bandwidth utilisation").
+    ///
+    /// Reports the raw ratio: over-unity utilisation is an accounting bug,
+    /// not a display issue, so there is deliberately no `.min(1.0)` clamp —
+    /// the `flash-busy-bounded` audit invariant flags any violation instead
+    /// of silently hiding it.
     pub fn ssd_bandwidth_utilisation(&self) -> f64 {
         if self.exec_time == Nanos::ZERO || self.flash_channels == 0 {
             return 0.0;
         }
-        (self.flash_busy_time.as_nanos() as f64
-            / (self.exec_time.as_nanos() as f64 * self.flash_channels as f64))
-            .min(1.0)
+        self.flash_busy_time.as_nanos() as f64
+            / (self.exec_time.as_nanos() as f64 * self.flash_channels as f64)
     }
 
     /// Speed-up of this run over a baseline run of the same workload
@@ -213,6 +262,169 @@ impl SimResult {
             return 0.0;
         }
         self.exec_time.as_nanos() as f64 / baseline.exec_time.as_nanos() as f64
+    }
+
+    /// Field-by-field comparison against another result, returning one
+    /// `"path: expected X, got Y"` line per differing field.
+    ///
+    /// This is the diff the golden-corpus verifier prints when a replayed
+    /// trace no longer reproduces its pinned result: a plain `PartialEq`
+    /// failure says *that* the numbers drifted, the field list says *where*.
+    pub fn diff_fields(&self, golden: &SimResult) -> Vec<String> {
+        let mut out = Vec::new();
+        macro_rules! cmp {
+            ($path:expr, $a:expr, $b:expr) => {
+                if $a != $b {
+                    out.push(format!("{}: expected {:?}, got {:?}", $path, $b, $a));
+                }
+            };
+        }
+        cmp!("variant", self.variant, golden.variant);
+        cmp!("workload", &self.workload, &golden.workload);
+        cmp!("threads", self.threads, golden.threads);
+        cmp!("cores", self.cores, golden.cores);
+        cmp!("exec_time", self.exec_time, golden.exec_time);
+        cmp!("instructions", self.instructions, golden.instructions);
+        cmp!(
+            "boundedness.compute",
+            self.boundedness.compute,
+            golden.boundedness.compute
+        );
+        cmp!(
+            "boundedness.memory",
+            self.boundedness.memory,
+            golden.boundedness.memory
+        );
+        cmp!(
+            "boundedness.context_switch",
+            self.boundedness.context_switch,
+            golden.boundedness.context_switch
+        );
+        cmp!(
+            "boundedness.idle",
+            self.boundedness.idle,
+            golden.boundedness.idle
+        );
+        cmp!("amat.host_dram", self.amat.host_dram, golden.amat.host_dram);
+        cmp!(
+            "amat.cxl_protocol",
+            self.amat.cxl_protocol,
+            golden.amat.cxl_protocol
+        );
+        cmp!("amat.indexing", self.amat.indexing, golden.amat.indexing);
+        cmp!("amat.ssd_dram", self.amat.ssd_dram, golden.amat.ssd_dram);
+        cmp!("amat.flash", self.amat.flash, golden.amat.flash);
+        cmp!("amat.accesses", self.amat.accesses, golden.amat.accesses);
+        cmp!("requests.host", self.requests.host, golden.requests.host);
+        cmp!(
+            "requests.ssd_read_hit",
+            self.requests.ssd_read_hit,
+            golden.requests.ssd_read_hit
+        );
+        cmp!(
+            "requests.ssd_read_miss",
+            self.requests.ssd_read_miss,
+            golden.requests.ssd_read_miss
+        );
+        cmp!(
+            "requests.ssd_write",
+            self.requests.ssd_write,
+            golden.requests.ssd_write
+        );
+        if self.latency_hist != golden.latency_hist {
+            out.push(format!(
+                "latency_hist: expected count {} mean {} max {}, \
+                 got count {} mean {} max {}",
+                golden.latency_hist.count(),
+                golden.latency_hist.mean(),
+                golden.latency_hist.max(),
+                self.latency_hist.count(),
+                self.latency_hist.mean(),
+                self.latency_hist.max()
+            ));
+        }
+        cmp!(
+            "flash_pages_programmed",
+            self.flash_pages_programmed,
+            golden.flash_pages_programmed
+        );
+        cmp!(
+            "flash_pages_read",
+            self.flash_pages_read,
+            golden.flash_pages_read
+        );
+        cmp!(
+            "avg_flash_read_latency",
+            self.avg_flash_read_latency,
+            golden.avg_flash_read_latency
+        );
+        cmp!(
+            "write_amplification",
+            self.write_amplification,
+            golden.write_amplification
+        );
+        cmp!(
+            "context_switches",
+            self.context_switches,
+            golden.context_switches
+        );
+        cmp!("pages_promoted", self.pages_promoted, golden.pages_promoted);
+        cmp!("pages_demoted", self.pages_demoted, golden.pages_demoted);
+        cmp!("compactions", self.compactions, golden.compactions);
+        cmp!(
+            "compaction_time",
+            self.compaction_time,
+            golden.compaction_time
+        );
+        cmp!(
+            "log_index_bytes",
+            self.log_index_bytes,
+            golden.log_index_bytes
+        );
+        cmp!(
+            "flash_busy_time",
+            self.flash_busy_time,
+            golden.flash_busy_time
+        );
+        cmp!("flash_channels", self.flash_channels, golden.flash_channels);
+        cmp!("gc_campaigns", self.gc_campaigns, golden.gc_campaigns);
+        cmp!("ssd_accesses", self.ssd_accesses, golden.ssd_accesses);
+        cmp!(
+            "squashed_accesses",
+            self.squashed_accesses,
+            golden.squashed_accesses
+        );
+        cmp!("migration_runs", self.migration_runs, golden.migration_runs);
+        cmp!("truncated", self.truncated, golden.truncated);
+        cmp!("layers.ssd", self.layers.ssd, golden.layers.ssd);
+        cmp!("layers.flash", self.layers.flash, golden.layers.flash);
+        cmp!("layers.ftl", self.layers.ftl, golden.layers.ftl);
+        cmp!(
+            "layers.write_log",
+            self.layers.write_log,
+            golden.layers.write_log
+        );
+        cmp!(
+            "layers.write_log_resident_entries",
+            self.layers.write_log_resident_entries,
+            golden.layers.write_log_resident_entries
+        );
+        cmp!(
+            "layers.migration",
+            self.layers.migration,
+            golden.layers.migration
+        );
+        // Completeness guard: if a future SimResult field is added without a
+        // `cmp!` line above, a drift in it must not slip through the golden
+        // corpus as an empty diff.
+        if out.is_empty() && self != golden {
+            out.push(
+                "results differ in a field diff_fields does not enumerate — \
+                 update SimResult::diff_fields"
+                    .to_string(),
+            );
+        }
+        out
     }
 }
 
@@ -263,13 +475,16 @@ mod tests {
             pages_promoted: 0,
             pages_demoted: 0,
             compactions: 0,
+            compaction_time: Nanos::ZERO,
             log_index_bytes: 0,
             flash_busy_time: Nanos::new(exec_ns / 2),
             flash_channels: 4,
             gc_campaigns: 0,
             ssd_accesses: 90,
+            squashed_accesses: 0,
             migration_runs: 0,
             truncated: false,
+            layers: LayerCounters::default(),
         }
     }
 
@@ -334,5 +549,31 @@ mod tests {
         let back: SimResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.exec_time, r.exec_time);
         assert_eq!(back.workload, "bc");
+        // The full round trip is lossless (what the golden corpus relies on).
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn utilisation_reports_raw_over_unity_ratios() {
+        // Over-unity utilisation must be *visible* (the audit flags it), not
+        // clamped away as it used to be.
+        let mut r = dummy(1_000_000);
+        r.flash_busy_time = r.exec_time * (r.flash_channels as u64) * 2;
+        assert!((r.ssd_bandwidth_utilisation() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_fields_pinpoints_divergent_fields() {
+        let golden = dummy(1_000_000);
+        assert!(golden.diff_fields(&golden).is_empty());
+        let mut run = golden.clone();
+        run.requests.ssd_write += 1;
+        run.exec_time += Nanos::new(5);
+        run.layers.flash.pages_read = 77;
+        let diff = run.diff_fields(&golden);
+        assert_eq!(diff.len(), 3, "{diff:?}");
+        assert!(diff.iter().any(|d| d.starts_with("requests.ssd_write:")));
+        assert!(diff.iter().any(|d| d.starts_with("exec_time:")));
+        assert!(diff.iter().any(|d| d.starts_with("layers.flash:")));
     }
 }

@@ -107,12 +107,17 @@ pub struct Runner {
     /// request's fingerprint, so memoization stays sound when one process
     /// mixes drives.
     drive: TraceDrive,
+    /// When set, every executed run is checked against the cross-layer
+    /// conservation audit ([`crate::audit`]) and violations are collected
+    /// for [`Runner::audit_failures`] (the `figures --audit` hook).
+    audit: bool,
     state: Mutex<MemoState>,
     /// Signalled whenever a run completes, waking callers blocked on a
     /// fingerprint claimed by a concurrent `run_all`.
     finished: Condvar,
     runs_executed: AtomicU64,
     truncated_runs: AtomicU64,
+    audit_failures: Mutex<Vec<String>>,
 }
 
 /// Memoized results plus the fingerprints currently being simulated, so that
@@ -129,10 +134,12 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             drive: TraceDrive::Synthetic,
+            audit: false,
             state: Mutex::new(MemoState::default()),
             finished: Condvar::new(),
             runs_executed: AtomicU64::new(0),
             truncated_runs: AtomicU64::new(0),
+            audit_failures: Mutex::new(Vec::new()),
         }
     }
 
@@ -146,6 +153,30 @@ impl Runner {
     /// The trace drive applied to this runner's requests.
     pub fn drive(&self) -> &TraceDrive {
         &self.drive
+    }
+
+    /// Returns this runner with the conservation audit enabled (or not):
+    /// every *executed* simulation (memo hits are already-audited results)
+    /// is checked against [`crate::audit`], and any violation is recorded
+    /// for [`audit_failures`](Self::audit_failures).
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+
+    /// Whether the conservation audit runs on every executed simulation.
+    pub fn audits(&self) -> bool {
+        self.audit
+    }
+
+    /// The audit violations collected so far: one rendered report per failed
+    /// run, prefixed with the run's fingerprint. Empty when auditing is
+    /// disabled or every run conserved.
+    pub fn audit_failures(&self) -> Vec<String> {
+        self.audit_failures
+            .lock()
+            .expect("audit log poisoned")
+            .clone()
     }
 
     /// Creates a runner sized to the host's available parallelism.
@@ -269,6 +300,15 @@ impl Runner {
         self.runs_executed.fetch_add(1, Ordering::Relaxed);
         if result.truncated {
             self.truncated_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.audit {
+            let report = crate::audit::audit(&result);
+            if !report.is_clean() {
+                self.audit_failures
+                    .lock()
+                    .expect("audit log poisoned")
+                    .push(format!("{}: {report}", req.fingerprint()));
+            }
         }
         let mut state = self.state.lock().expect("memo table poisoned");
         state.in_flight.remove(req.fingerprint());

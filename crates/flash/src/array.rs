@@ -123,6 +123,17 @@ impl FlashArray {
         self.channels.iter().map(|c| c.busy_time()).sum()
     }
 
+    /// Aggregate busy time attributable to the window `[0, horizon]` (see
+    /// [`ChannelQueue::busy_time_within`]). Bounded by
+    /// `horizon * channel_count` by construction, which the cross-layer
+    /// conservation audit asserts.
+    pub fn busy_time_within(&self, horizon: Nanos) -> Nanos {
+        self.channels
+            .iter()
+            .map(|c| c.busy_time_within(horizon))
+            .sum()
+    }
+
     /// Time at which every channel is idle.
     pub fn all_idle_at(&self) -> Nanos {
         self.channels

@@ -190,6 +190,21 @@ impl ChannelQueue {
         self.busy_time
     }
 
+    /// Busy time attributable to the window `[0, horizon]`.
+    ///
+    /// [`busy_time`](Self::busy_time) charges the full service time of every
+    /// accepted command, including work committed beyond `horizon` (a backlog
+    /// still draining when the measured run ends). Because the channel works
+    /// without gaps while backlogged, the service committed past `horizon` is
+    /// exactly `busy_until - horizon`, so subtracting it yields the busy time
+    /// that actually falls inside the window — guaranteed `<= horizon`, which
+    /// is what makes bandwidth-utilisation ratios genuinely `<= 1` instead of
+    /// needing a clamp.
+    pub fn busy_time_within(&self, horizon: Nanos) -> Nanos {
+        let overhang = self.busy_until.saturating_sub(horizon);
+        self.busy_time.saturating_sub(overhang)
+    }
+
     /// Whether no commands are outstanding.
     pub fn is_idle(&self) -> bool {
         self.inflight.is_empty()
@@ -281,6 +296,32 @@ mod tests {
         );
         assert_eq!(q.busy_time(), Nanos::from_micros(103));
         assert_eq!(q.busy_until(), Nanos::from_micros(600));
+    }
+
+    #[test]
+    fn windowed_busy_time_excludes_the_draining_backlog() {
+        let mut q = ChannelQueue::new();
+        let t = timing();
+        // A program committed at t=0 runs 0..100us.
+        q.submit(FlashCommandKind::Program, Ppa::default(), Nanos::ZERO, &t);
+        // Another queues behind it: 100..200us.
+        q.submit(FlashCommandKind::Program, Ppa::default(), Nanos::ZERO, &t);
+        assert_eq!(q.busy_time(), Nanos::from_micros(200));
+        // A horizon mid-way through the second program only counts the part
+        // of the committed service that falls inside the window.
+        assert_eq!(
+            q.busy_time_within(Nanos::from_micros(150)),
+            Nanos::from_micros(150)
+        );
+        // A horizon past the drain sees the full busy time.
+        assert_eq!(
+            q.busy_time_within(Nanos::from_micros(500)),
+            Nanos::from_micros(200)
+        );
+        // Windowed busy time never exceeds the horizon.
+        for h in [0u64, 1, 50, 99, 100, 199] {
+            assert!(q.busy_time_within(Nanos::from_micros(h)) <= Nanos::from_micros(h));
+        }
     }
 
     #[test]

@@ -54,3 +54,10 @@ pub use controller::SsdController;
 pub use hotness::HotPageTracker;
 pub use stats::{AccessBreakdown, ServedBy, SsdStats};
 pub use trigger::{ThresholdPolicy, TriggerDecision};
+
+// Re-exported so the simulation core can snapshot every device layer's
+// counters into its per-run `LayerCounters` (the conservation audit's input)
+// without depending on each device crate directly.
+pub use skybyte_cache::WriteLogStats;
+pub use skybyte_flash::FlashStats;
+pub use skybyte_ftl::FtlStats;

@@ -77,7 +77,12 @@ pub struct SsdStats {
     pub compactions: u64,
     /// Pages flushed to flash by compaction.
     pub compaction_pages_flushed: u64,
-    /// Total wall-clock time spent in compaction campaigns.
+    /// Wall-clock time the device spent compacting: a union-of-windows
+    /// measure (overlapping campaigns count their shared span once; a
+    /// campaign arriving on a lagging clock entirely inside an
+    /// already-covered window contributes nothing), so it is bounded by the
+    /// covered wall-clock span and, windowed to the run, by the execution
+    /// time — which the conservation audit asserts.
     pub compaction_time: Nanos,
     /// Dirty pages written back on data-cache eviction (Base-CSSD).
     pub eviction_writebacks: u64,
@@ -103,7 +108,11 @@ impl SsdStats {
             / self.reads as f64
     }
 
-    /// Average duration of one compaction campaign.
+    /// Average compaction busy time per campaign. Because
+    /// [`compaction_time`](Self::compaction_time) is a union measure, this
+    /// under-reports the true per-campaign duration when campaigns overlap —
+    /// it answers "how much device-busy time did a campaign cost on
+    /// average", not "how long did a campaign run".
     pub fn avg_compaction_time(&self) -> Nanos {
         if self.compactions == 0 {
             Nanos::ZERO

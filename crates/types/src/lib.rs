@@ -37,6 +37,7 @@
 
 pub mod access;
 pub mod addr;
+pub mod audit;
 pub mod config;
 pub mod error;
 pub mod stats;
@@ -49,6 +50,7 @@ pub mod prelude {
         CachelineIndex, Lpa, PageNumber, PhysAddr, Ppa, VirtAddr, CACHELINES_PER_PAGE,
         CACHELINE_SIZE, PAGE_SIZE,
     };
+    pub use crate::audit::{AuditReport, Violation};
     pub use crate::config::{
         CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
         MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,
@@ -64,6 +66,7 @@ pub use addr::{
     CachelineIndex, Lpa, PageNumber, PhysAddr, Ppa, VirtAddr, CACHELINES_PER_PAGE, CACHELINE_SIZE,
     PAGE_SIZE,
 };
+pub use audit::{AuditReport, Violation};
 pub use config::{
     CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
     MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,

@@ -73,7 +73,7 @@ impl fmt::Display for Counter {
 /// assert!(h.mean() > Nanos::new(200));
 /// assert!(h.percentile(0.5) <= Nanos::new(512));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     /// bucket i counts samples with latency in [2^i, 2^(i+1)) ns.
     buckets: Vec<u64>,
@@ -81,6 +81,17 @@ pub struct LatencyHistogram {
     total_ns: u128,
     max_ns: u64,
     min_ns: u64,
+}
+
+/// `Default` must construct exactly the same empty histogram as
+/// [`LatencyHistogram::new`]: a derived `Default` would leave `buckets`
+/// empty and `min_ns = 0`, making two sample-free histograms — and therefore
+/// two otherwise identical `SimResult`s — compare unequal under the
+/// trace-replay bit-identity keystone.
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyHistogram {
@@ -291,6 +302,34 @@ mod tests {
         assert_eq!(h.min(), Nanos::new(100));
         assert_eq!(h.max(), Nanos::new(300));
         assert_eq!(h.total(), Nanos::new(400));
+    }
+
+    #[test]
+    fn histogram_default_equals_new() {
+        // The derived Default used to produce empty buckets and min_ns = 0,
+        // breaking equality between sample-free histograms.
+        assert_eq!(LatencyHistogram::default(), LatencyHistogram::new());
+        // Recording into a default-built histogram lands in the same state
+        // as recording into a new()-built one.
+        let mut d = LatencyHistogram::default();
+        let mut n = LatencyHistogram::new();
+        d.record(Nanos::new(123));
+        n.record(Nanos::new(123));
+        assert_eq!(d, n);
+    }
+
+    #[test]
+    fn histogram_serde_round_trip_preserves_equality() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos::new(77));
+        h.record(Nanos::new(1 << 20));
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        // An empty histogram round-trips to something equal to a fresh one.
+        let empty_json = serde_json::to_string(&LatencyHistogram::new()).unwrap();
+        let empty: LatencyHistogram = serde_json::from_str(&empty_json).unwrap();
+        assert_eq!(empty, LatencyHistogram::default());
     }
 
     #[test]

@@ -80,9 +80,33 @@ impl Nanos {
     }
 
     /// Saturating subtraction: returns `ZERO` instead of underflowing.
+    ///
+    /// Use this only where an earlier-than-`rhs` value is *expected* (e.g.
+    /// windowing a busy interval against a horizon). Where time must be
+    /// monotone — a completion never precedes its request — use
+    /// [`Nanos::since`], which fails loudly instead of masking the bug as a
+    /// zero latency.
     #[inline]
     pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Monotone elapsed time: `self - earlier`, panicking if time ran
+    /// backwards. This is the audit-friendly replacement for the
+    /// `saturating_sub` calls that used to silently clamp negative latencies
+    /// to zero and mask accounting bugs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier > self` (simulated time ran backwards).
+    #[inline]
+    #[track_caller]
+    pub fn since(self, earlier: Nanos) -> Nanos {
+        assert!(
+            self.0 >= earlier.0,
+            "simulated time ran backwards: {self} precedes {earlier}"
+        );
+        Nanos(self.0 - earlier.0)
     }
 
     /// Saturating addition, clamping at [`Nanos::MAX`].
@@ -293,6 +317,18 @@ mod tests {
         assert_eq!(c, Nanos::new(140));
         c -= b;
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn since_measures_monotone_elapsed_time() {
+        assert_eq!(Nanos::new(140).since(Nanos::new(40)), Nanos::new(100));
+        assert_eq!(Nanos::new(7).since(Nanos::new(7)), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn since_panics_when_time_runs_backwards() {
+        let _ = Nanos::new(40).since(Nanos::new(41));
     }
 
     #[test]
