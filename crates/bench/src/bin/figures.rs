@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p skybyte-bench --bin figures -- --all
 //! cargo run --release -p skybyte-bench --bin figures -- --fig 14 --scale bench
+//! cargo run --release -p skybyte-bench --bin figures -- --fig mt --audit
 //! cargo run --release -p skybyte-bench --bin figures -- --all --jobs 8
 //! cargo run --release -p skybyte-bench --bin figures -- --all --out results/
 //! cargo run --release -p skybyte-bench --bin figures -- --fig 14 --record-dir traces/
@@ -23,13 +24,15 @@
 //! series and are therefore not listed.
 
 use skybyte_bench::{figures_scale, harness_runner};
-use skybyte_sim::report::{figure_table, paper_table, render, DATA_FIGURES};
+use skybyte_sim::report::{figure_table_named, paper_table, render, DATA_FIGURES};
 use skybyte_sim::{ExperimentScale, TraceDrive};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
-    figures: Vec<u32>,
+    /// Requested figures: paper figure numbers (`"14"`) or named
+    /// repository experiments (`"mt"`).
+    figures: Vec<String>,
     tables: Vec<u32>,
     scale: ExperimentScale,
     all: bool,
@@ -57,12 +60,12 @@ fn parse_args() -> Result<Options, String> {
             "--all" => opts.all = true,
             "--fig" | "--figure" => {
                 i += 1;
-                let n = args
-                    .get(i)
-                    .ok_or("--fig requires a number")?
-                    .parse::<u32>()
-                    .map_err(|e| format!("invalid figure number: {e}"))?;
-                opts.figures.push(n);
+                let name = args.get(i).ok_or("--fig requires a number or 'mt'")?;
+                if name != "mt" {
+                    name.parse::<u32>()
+                        .map_err(|e| format!("invalid figure number: {e}"))?;
+                }
+                opts.figures.push(name.clone());
             }
             "--table" => {
                 i += 1;
@@ -119,9 +122,11 @@ fn parse_args() -> Result<Options, String> {
             "--audit" => opts.audit = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--all] [--fig N]... [--table N]... \
+                    "usage: figures [--all] [--fig N|mt]... [--table N]... \
                      [--scale tiny|bench|default] [--jobs N] [--out DIR] \
                      [--record-dir DIR | --replay-dir DIR] [--audit]\n\n\
+                     --fig mt           the multi-tenant interference experiment\n\
+                     \u{20}                  (ycsb + tpcc co-located, per-tenant slowdown vs solo)\n\
                      --out DIR          also write each regenerated table as DIR/<id>.csv\n\
                      --record-dir DIR   tee every simulation's workload stream to .sbt traces\n\
                      --replay-dir DIR   drive the simulations from recorded .sbt traces\n\
@@ -137,7 +142,7 @@ fn parse_args() -> Result<Options, String> {
     }
     if !opts.all && opts.figures.is_empty() && opts.tables.is_empty() {
         // Default: the headline results.
-        opts.figures = vec![14, 18];
+        opts.figures = vec!["14".into(), "18".into()];
         opts.tables = vec![1, 3];
     }
     Ok(opts)
@@ -149,18 +154,18 @@ fn regenerate(
     runner: &skybyte_sim::Runner,
     opts: &Options,
     tables: Vec<u32>,
-    figures: Vec<u32>,
+    figures: Vec<String>,
 ) -> Result<usize, String> {
     let mut exported = 0usize;
     let all = tables
         .into_iter()
-        .map(|n| (n, true))
+        .map(|n| (n.to_string(), true))
         .chain(figures.into_iter().map(|n| (n, false)));
     for (n, is_table) in all {
         let table = if is_table {
-            paper_table(runner, n, &opts.scale)
+            paper_table(runner, n.parse().expect("table numbers"), &opts.scale)
         } else {
-            figure_table(runner, n, &opts.scale)
+            figure_table_named(runner, &n, &opts.scale)?
         };
         println!("{}", render(&table));
         if let Some(dir) = &opts.out {
@@ -191,7 +196,17 @@ fn main() -> ExitCode {
         }
     };
     let (figures, tables) = if opts.all {
-        (DATA_FIGURES.to_vec(), vec![1, 2, 3, 4])
+        // `--all` regenerates every paper figure plus the repository's own
+        // multi-tenant interference experiment. Trace drives are
+        // single-tenant (multi-tenant runs compose their sources live), so
+        // recording/replaying `--all` skips the mt experiment.
+        let mut figs: Vec<String> = DATA_FIGURES.iter().map(|n| n.to_string()).collect();
+        if opts.drive == TraceDrive::Synthetic {
+            figs.push("mt".into());
+        } else {
+            eprintln!("[figures] note: skipping figure mt under --record-dir/--replay-dir");
+        }
+        (figs, vec![1, 2, 3, 4])
     } else {
         (opts.figures.clone(), opts.tables.clone())
     };

@@ -51,13 +51,16 @@ const USAGE: &str = "usage: trace <record|replay|stat|mix|verify-corpus> [option
       back-to-back (concat); --shift-stride re-bases input i by i*BYTES;
       --loop repeats each input N times.
 
-  verify-corpus [--dir DIR] [--jobs N] [--pin] [--diff-out FILE]
+  verify-corpus [--dir DIR] [--jobs N] [--pin [--entry NAME]...]
+                [--diff-out FILE]
       Replay the golden-trace regression corpus (default DIR: corpus/) and
       verify every trace x variant pair field-by-field against its pinned
       golden result, plus the cross-layer conservation audit. --pin
       re-records the traces and re-pins the goldens instead (byte-identical
-      for any --jobs value); --diff-out additionally writes the field-level
-      diff to FILE on mismatch (what CI uploads as an artifact).";
+      for any --jobs value); --entry restricts the pin to the named entries
+      (how new entries are added without rewriting existing goldens);
+      --diff-out additionally writes the field-level diff to FILE on
+      mismatch (what CI uploads as an artifact).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -286,6 +289,7 @@ fn cmd_verify_corpus(args: &[String]) -> Result<(), String> {
     // crates/bench/tests/corpus.rs), so default to full parallelism.
     let mut jobs: usize = skybyte_sim::runner::default_parallelism();
     let mut pin = false;
+    let mut entries_filter: Vec<String> = Vec::new();
     let mut diff_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -299,15 +303,23 @@ fn cmd_verify_corpus(args: &[String]) -> Result<(), String> {
                 jobs = n;
             }
             "--pin" => pin = true,
+            "--entry" => entries_filter.push(value(args, &mut i, "--entry")?.to_string()),
             "--diff-out" => diff_out = Some(PathBuf::from(value(args, &mut i, "--diff-out")?)),
             other => return Err(format!("unknown verify-corpus argument '{other}'")),
         }
         i += 1;
     }
+    if !entries_filter.is_empty() && !pin {
+        return Err("--entry only applies to --pin (verification always covers \
+                    the whole corpus)"
+            .into());
+    }
     if pin {
-        let pairs = skybyte_bench::corpus::pin(&dir, jobs)?;
+        let only = (!entries_filter.is_empty()).then_some(entries_filter.as_slice());
+        let pairs = skybyte_bench::corpus::pin_entries(&dir, jobs, only)?;
         println!(
-            "pinned {pairs} golden results ({} traces x {} variants) under {}",
+            "pinned {pairs} golden results ({} of {} traces x {} variants) under {}",
+            pairs / skybyte_bench::corpus::CORPUS_VARIANTS.len(),
             skybyte_bench::corpus::entries().len(),
             skybyte_bench::corpus::CORPUS_VARIANTS.len(),
             dir.display()

@@ -1,6 +1,6 @@
 //! Integration tests of the golden-trace regression corpus.
 
-use skybyte_bench::corpus::{entries, pin, verify, CORPUS_VARIANTS};
+use skybyte_bench::corpus::{entries, pin, pin_entries, verify, CORPUS_VARIANTS};
 use std::path::PathBuf;
 
 fn scratch(tag: &str) -> PathBuf {
@@ -29,6 +29,36 @@ fn checked_in_corpus_verifies_clean() {
         "checked-in corpus diverged:\n{}",
         report.render_failures()
     );
+}
+
+#[test]
+fn filtered_pin_writes_only_the_named_entries() {
+    let full = scratch("pin-full");
+    pin(&full, 2).unwrap();
+    let filtered = scratch("pin-one");
+    pin_entries(&filtered, 2, Some(&["hot-page".to_string()])).unwrap();
+    // Only hot-page's trace and goldens exist in the filtered pin…
+    let names: Vec<String> = std::fs::read_dir(filtered.join("traces"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, vec!["hot-page.sbt"]);
+    let goldens = std::fs::read_dir(filtered.join("golden")).unwrap().count();
+    assert_eq!(goldens, CORPUS_VARIANTS.len());
+    // …and they are byte-identical to a full pin's (the filter changes
+    // which files are written, never their contents).
+    for sub in ["traces", "golden"] {
+        for f in std::fs::read_dir(filtered.join(sub)).unwrap() {
+            let name = f.unwrap().file_name();
+            assert_eq!(
+                std::fs::read(filtered.join(sub).join(&name)).unwrap(),
+                std::fs::read(full.join(sub).join(&name)).unwrap(),
+                "{sub}/{name:?}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&full).ok();
+    std::fs::remove_dir_all(&filtered).ok();
 }
 
 #[test]

@@ -31,6 +31,21 @@
 //! | `boundedness-exec-window` | `exec_time` ≤ Σ per-core accounted time ≤ `exec_time × cores` |
 //! | `compaction-count-agreement` | headline compaction count == controller counter |
 //! | `progress` | a run that classified requests took nonzero time |
+//! | `cxl-port-agreement` | link requests == `ssd_accesses`; link responses == classified SSD requests + migrations |
+//!
+//! When the result carries per-tenant counters (every run of the pipelined
+//! engine does), the per-tenant attribution is additionally tied to the
+//! global counters:
+//!
+//! | name | law |
+//! |------|-----|
+//! | `tenant-thread-partition` | Σ per-tenant threads == `threads` |
+//! | `tenant-request-conservation` | per-tenant request classes sum to the global breakdown |
+//! | `tenant-amat-conservation` | per-tenant AMAT components and accesses sum to the global AMAT |
+//! | `tenant-histogram-conservation` | Σ per-tenant histogram samples == global histogram samples |
+//! | `tenant-squash-conservation` | per-tenant squashes/SSD accesses sum to the globals, and each tenant's squashes == its context switches |
+//! | `tenant-instruction-conservation` | Σ per-tenant instructions == `instructions` |
+//! | `tenant-finish-bounded` | every tenant finish time ≤ `exec_time` |
 //!
 //! # Example
 //!
@@ -308,5 +323,146 @@ pub fn audit(r: &SimResult) -> AuditReport {
         },
     );
 
+    // Link-level conservation: every SSD access crosses the port exactly
+    // once as a request; every *classified* (non-squashed) access gets one
+    // response (write ack or cacheline), and each page migration moves one
+    // payload (counted as a response) in either direction.
+    let cxl = &r.layers.cxl;
+    let expected_responses = classified_ssd + mig.promotions + mig.demotions;
+    a.check(
+        "cxl-port-agreement",
+        cxl.requests == r.ssd_accesses && cxl.responses == expected_responses,
+        || {
+            format!(
+                "link requests ({}) != ssd_accesses ({}), or link responses \
+                 ({}) != classified SSD requests ({classified_ssd}) + \
+                 promotions ({}) + demotions ({}) = {expected_responses}",
+                cxl.requests, r.ssd_accesses, cxl.responses, mig.promotions, mig.demotions
+            )
+        },
+    );
+
+    // Per-tenant attribution invariants (every pipelined run carries the
+    // counters; results deserialized from pre-tenant goldens do not, and
+    // are audited on their global counters alone).
+    if !r.per_tenant.is_empty() {
+        audit_tenants(r, &mut a);
+    }
+
     a
+}
+
+/// The `tenant-*` invariant set: the per-tenant counters are a partition of
+/// the global ones — sums must close exactly, with no access, squash,
+/// instruction or latency sample left unattributed (or double-attributed).
+fn audit_tenants(r: &SimResult, a: &mut AuditReport) {
+    let tenants = &r.per_tenant;
+
+    let thread_sum: u32 = tenants.iter().map(|t| t.threads).sum();
+    a.check("tenant-thread-partition", thread_sum == r.threads, || {
+        format!(
+            "per-tenant thread counts sum to {thread_sum}, run has {}",
+            r.threads
+        )
+    });
+
+    let host: u64 = tenants.iter().map(|t| t.requests.host).sum();
+    let hit: u64 = tenants.iter().map(|t| t.requests.ssd_read_hit).sum();
+    let miss: u64 = tenants.iter().map(|t| t.requests.ssd_read_miss).sum();
+    let write: u64 = tenants.iter().map(|t| t.requests.ssd_write).sum();
+    a.check(
+        "tenant-request-conservation",
+        host == r.requests.host
+            && hit == r.requests.ssd_read_hit
+            && miss == r.requests.ssd_read_miss
+            && write == r.requests.ssd_write,
+        || {
+            format!(
+                "per-tenant request sums (host {host}, hit {hit}, miss {miss}, \
+                 write {write}) != global breakdown (host {}, hit {}, miss {}, \
+                 write {})",
+                r.requests.host,
+                r.requests.ssd_read_hit,
+                r.requests.ssd_read_miss,
+                r.requests.ssd_write
+            )
+        },
+    );
+
+    let amat_accesses: u64 = tenants.iter().map(|t| t.amat.accesses).sum();
+    let amat_total: Nanos = tenants
+        .iter()
+        .map(|t| t.amat.total())
+        .fold(Nanos::ZERO, |acc, x| acc + x);
+    a.check(
+        "tenant-amat-conservation",
+        amat_accesses == r.amat.accesses && amat_total == r.amat.total(),
+        || {
+            format!(
+                "per-tenant AMAT sums ({amat_accesses} accesses, {amat_total} \
+                 total latency) != global AMAT ({} accesses, {} total latency)",
+                r.amat.accesses,
+                r.amat.total()
+            )
+        },
+    );
+
+    let samples: u64 = tenants.iter().map(|t| t.latency_hist.count()).sum();
+    a.check(
+        "tenant-histogram-conservation",
+        samples == r.latency_hist.count(),
+        || {
+            format!(
+                "per-tenant histogram samples sum to {samples}, global \
+                 histogram holds {}",
+                r.latency_hist.count()
+            )
+        },
+    );
+
+    let squashed: u64 = tenants.iter().map(|t| t.squashed_accesses).sum();
+    let ssd: u64 = tenants.iter().map(|t| t.ssd_accesses).sum();
+    let per_tenant_cs_agree = tenants
+        .iter()
+        .all(|t| t.squashed_accesses == t.context_switches);
+    a.check(
+        "tenant-squash-conservation",
+        squashed == r.squashed_accesses && ssd == r.ssd_accesses && per_tenant_cs_agree,
+        || {
+            format!(
+                "per-tenant squash/SSD sums ({squashed}/{ssd}) != globals \
+                 ({}/{}), or a tenant's squashes disagree with its context \
+                 switches",
+                r.squashed_accesses, r.ssd_accesses
+            )
+        },
+    );
+
+    let instructions: u64 = tenants.iter().map(|t| t.instructions).sum();
+    a.check(
+        "tenant-instruction-conservation",
+        instructions == r.instructions,
+        || {
+            format!(
+                "per-tenant instruction sum ({instructions}) != global \
+                 instruction count ({})",
+                r.instructions
+            )
+        },
+    );
+
+    a.check(
+        "tenant-finish-bounded",
+        tenants.iter().all(|t| t.finish_time <= r.exec_time),
+        || {
+            let worst = tenants
+                .iter()
+                .map(|t| t.finish_time)
+                .fold(Nanos::ZERO, Nanos::max);
+            format!(
+                "a tenant finished at {worst}, after the run's exec_time ({})",
+                r.exec_time
+            )
+        },
+    );
 }

@@ -10,23 +10,17 @@
 //! expected in SSD DRAM, and the scheduler picks another thread for the core
 //! (Figure 7). Page migrations run in the background between accesses.
 
-use crate::metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult};
-use crate::migration::{MigrationContext, MigrationEngine};
+use crate::metrics::SimResult;
 use crate::scale::ExperimentScale;
-use crate::thread_exec::ThreadExecutor;
-use skybyte_cpu::{Boundedness, CoreTimingModel, HostDram};
-use skybyte_cxl::CxlPort;
-use skybyte_os::{BlockReason, PagePlacement, PageTable, Scheduler, Tlb};
-use skybyte_ssd::{ServedBy, SsdController};
-use skybyte_trace::{Record, TraceError, TraceFileSource, TraceHeader, TraceWriter};
-use skybyte_types::{LatencyHistogram, Lpa, Nanos, PageNumber, SimConfig, VariantKind};
+use crate::system::SystemState;
+use skybyte_trace::{
+    BoxedSource, Record, Shift, Tenants, TraceError, TraceFileSource, TraceHeader, TraceWriter,
+};
+use skybyte_types::{SimConfig, TenantId, VariantKind, PAGE_SIZE};
 use skybyte_workloads::{TraceSource, WorkloadKind, WorkloadSource};
 use std::path::{Path, PathBuf};
 
-/// How often (in SSD accesses, squashed or not) the background migration
-/// policy gets a chance to promote a page. Public so the conservation audit
-/// can bound `migration_runs` per access window.
-pub const MIGRATION_PERIOD_ACCESSES: u64 = 64;
+pub use crate::system::MIGRATION_PERIOD_ACCESSES;
 
 /// A process-unique token for record temp-file names, so concurrent runner
 /// workers recording the same stream never collide.
@@ -69,6 +63,10 @@ pub enum TraceDrive {
 pub struct Simulation {
     cfg: SimConfig,
     workload: WorkloadKind,
+    /// The co-located applications of a multi-tenant run, in tenant-id
+    /// order; empty for a single-tenant simulation (the classic
+    /// constructors). Built by [`Simulation::build_multi`].
+    tenants: Vec<(WorkloadKind, u32)>,
     scale: ExperimentScale,
     drive: TraceDrive,
 }
@@ -82,6 +80,7 @@ impl Simulation {
         Simulation {
             cfg,
             workload,
+            tenants: Vec::new(),
             scale: *scale,
             drive: TraceDrive::Synthetic,
         }
@@ -93,9 +92,87 @@ impl Simulation {
         Simulation {
             cfg,
             workload,
+            tenants: Vec::new(),
             scale: *scale,
             drive: TraceDrive::Synthetic,
         }
+    }
+
+    /// Builds a **multi-tenant** simulation: each `(workload, threads)` pair
+    /// is one co-located application sharing the device, running on its own
+    /// slice of the scaled footprint (`scale.footprint_bytes / tenants`,
+    /// page-aligned, address-shifted so tenants occupy disjoint ranges).
+    /// The total thread count is the sum over tenants; everything else —
+    /// cores, device sizes, per-thread budget — follows the scale exactly as
+    /// in [`build`](Self::build), so tenants contend for the same device a
+    /// single-tenant run would own outright.
+    ///
+    /// The result's [`SimResult::per_tenant`] carries one entry per pair,
+    /// in order, and the `tenant-*` conservation audit invariants tie those
+    /// entries back to the global counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty or any tenant has zero threads.
+    pub fn build_multi(
+        variant: VariantKind,
+        tenants: &[(WorkloadKind, u32)],
+        scale: &ExperimentScale,
+    ) -> Self {
+        assert!(!tenants.is_empty(), "at least one tenant required");
+        assert!(
+            tenants.iter().all(|(_, t)| *t > 0),
+            "every tenant needs at least one thread"
+        );
+        let total: u32 = tenants.iter().map(|(_, t)| *t).sum();
+        let cfg = scale
+            .apply(SimConfig::default().with_variant(variant))
+            .with_threads(total);
+        Simulation {
+            cfg,
+            workload: tenants[0].0,
+            tenants: tenants.to_vec(),
+            scale: *scale,
+            drive: TraceDrive::Synthetic,
+        }
+    }
+
+    /// The co-located `(workload, threads)` tenants of a multi-tenant
+    /// simulation (empty for single-tenant runs).
+    pub fn tenants(&self) -> &[(WorkloadKind, u32)] {
+        &self.tenants
+    }
+
+    /// Bytes of footprint each tenant of a multi-tenant run owns: the
+    /// scaled footprint divided evenly, page-aligned, at least one page.
+    pub fn tenant_slice_bytes(&self) -> u64 {
+        let n = self.tenants.len().max(1) as u64;
+        let page = PAGE_SIZE as u64;
+        ((self.scale.footprint_bytes / n) / page * page).max(page)
+    }
+
+    /// The composed trace source of a multi-tenant run: one tenant-tagged
+    /// [`WorkloadSource`] per tenant (distinct seeds so identical workloads
+    /// do not phase-lock), address-shifted onto its footprint slice and
+    /// stacked on the thread axis.
+    fn multi_source(&self) -> Tenants {
+        let slice = self.tenant_slice_bytes();
+        let inputs: Vec<BoxedSource> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, (workload, threads))| {
+                let spec = workload.spec().scaled_to(slice);
+                let source = WorkloadSource::new(&spec, *threads, self.scale.seed + i as u64)
+                    .with_tenant(TenantId(i as u32));
+                if i == 0 {
+                    Box::new(source) as BoxedSource
+                } else {
+                    Box::new(Shift::new(Box::new(source), i as u64 * slice)) as BoxedSource
+                }
+            })
+            .collect();
+        Tenants::new(inputs)
     }
 
     /// Returns a copy driven as `drive` (record to / replay from a trace
@@ -188,8 +265,25 @@ impl Simulation {
     ///
     /// Panics if the configuration is invalid.
     pub fn try_run(&self) -> Result<SimResult, TraceError> {
-        let spec = self.scale.workload_spec(self.workload);
         let budget = self.per_thread_budget();
+        if !self.tenants.is_empty() {
+            // Multi-tenant runs compose their source live; trace drives are
+            // per-stream concepts (record the tenants separately and stack
+            // them with `Tenants` / `trace mix` instead).
+            return match &self.drive {
+                TraceDrive::Synthetic => {
+                    let mut source = self.multi_source();
+                    Ok(self.run_loop(&mut source, budget))
+                }
+                TraceDrive::Record { .. } | TraceDrive::Replay { .. } => {
+                    Err(TraceError::Unsupported(
+                        "trace drives are single-tenant; record each tenant's \
+                         stream separately and compose them with `Tenants`",
+                    ))
+                }
+            };
+        }
+        let spec = self.scale.workload_spec(self.workload);
         match &self.drive {
             TraceDrive::Synthetic => {
                 let mut source = WorkloadSource::new(&spec, self.cfg.threads, self.scale.seed);
@@ -220,16 +314,24 @@ impl Simulation {
             TraceDrive::Replay { dir } => {
                 let path = dir.join(self.trace_file_name());
                 let mut source = TraceFileSource::open(&path)?;
-                if source.threads() != self.cfg.threads {
-                    return Err(TraceError::ThreadMismatch {
-                        expected: self.cfg.threads,
-                        got: source.threads(),
-                    });
-                }
+                self.check_stream_count(&source)?;
                 // The trace defines the work; the budget only caps it.
                 Ok(self.run_loop(&mut source, u64::MAX))
             }
         }
+    }
+
+    /// The single place the "does the trace's stream count match the
+    /// configured thread count" precondition is enforced, shared by every
+    /// file-replay entry point.
+    fn check_stream_count(&self, source: &TraceFileSource) -> Result<(), TraceError> {
+        if source.threads() != self.cfg.threads {
+            return Err(TraceError::ThreadMismatch {
+                expected: self.cfg.threads,
+                got: source.threads(),
+            });
+        }
+        Ok(())
     }
 
     /// Replays an explicit `.sbt` file (ignoring the drive), with the trace
@@ -237,12 +339,7 @@ impl Simulation {
     /// match the trace's stream count.
     pub fn run_trace_file(&self, path: &Path) -> Result<SimResult, TraceError> {
         let mut source = TraceFileSource::open(path)?;
-        if source.threads() != self.cfg.threads {
-            return Err(TraceError::ThreadMismatch {
-                expected: self.cfg.threads,
-                got: source.threads(),
-            });
-        }
+        self.check_stream_count(&source)?;
         Ok(self.run_loop(&mut source, u64::MAX))
     }
 
@@ -263,290 +360,48 @@ impl Simulation {
         self.run_loop(source, per_thread_budget)
     }
 
+    /// The result's workload label and the total footprint (in pages) the
+    /// SSD is preconditioned with: the single workload's spec, or the
+    /// joined tenant labels and the sum of the tenant footprint slices.
+    fn label_and_footprint_pages(&self) -> (String, u64) {
+        if self.tenants.is_empty() {
+            let spec = self.scale.workload_spec(self.workload);
+            (spec.name().to_string(), spec.footprint_pages())
+        } else {
+            let label = self
+                .tenants
+                .iter()
+                .map(|(w, _)| w.name())
+                .collect::<Vec<_>>()
+                .join("+");
+            let slice_pages = (self.tenant_slice_bytes() / PAGE_SIZE as u64).max(1);
+            (label, slice_pages * self.tenants.len() as u64)
+        }
+    }
+
+    /// Drives the [`SystemState`] access pipeline (`crate::system`) over
+    /// `source` to completion and assembles the result.
     fn run_loop(&self, source: &mut dyn TraceSource, per_thread_budget: u64) -> SimResult {
-        let cfg = &self.cfg;
-        cfg.validate().expect("invalid simulation configuration");
-        assert_eq!(
-            source.threads(),
-            cfg.threads,
-            "trace source must provide one stream per configured thread"
-        );
-        let cores = cfg.cpu.cores as usize;
-        let threads = cfg.threads;
-        let spec = self.scale.workload_spec(self.workload);
-
-        let core_model = CoreTimingModel::new(&cfg.cpu);
-        let mut ssd = SsdController::new(cfg);
-        let mut port = CxlPort::new(cfg.ssd.cxl_protocol_latency, cfg.ssd.link_bandwidth_bps);
-        let mut host_dram = HostDram::new(&cfg.host_dram);
-        let mut sched = Scheduler::new(
-            cfg.sched_policy,
-            cfg.context_switch_overhead,
+        let (label, footprint_pages) = self.label_and_footprint_pages();
+        let max_steps = self.cfg.threads as u64 * self.scale.accesses_per_thread * 64 + 1_000_000;
+        let mut system = SystemState::new(
+            &self.cfg,
             self.scale.seed,
+            source,
+            per_thread_budget,
+            footprint_pages,
+            self.scale.precondition_fraction,
+            max_steps,
         );
-        let mut page_table = PageTable::new();
-        let mut tlb = Tlb::new(cfg.cpu.tlb.entries as usize, cfg.cpu.tlb.miss_latency);
-        let mut migration = MigrationEngine::new(cfg);
-        let mut execs: Vec<ThreadExecutor> = (0..threads)
-            .map(|t| ThreadExecutor::new(t, per_thread_budget, source))
-            .collect();
-        for _ in 0..threads {
-            sched.spawn();
-        }
-
-        // Precondition the SSD so garbage collection can trigger (§VI-A).
-        if !cfg.infinite_host_dram {
-            let footprint_pages = spec.footprint_pages();
-            let precondition_pages = ((footprint_pages as f64 * self.scale.precondition_fraction)
-                as u64)
-                .min(ssd.logical_pages());
-            ssd.precondition((0..precondition_pages).map(Lpa::new));
-        }
-
-        let mut core_clock = vec![Nanos::ZERO; cores];
-        let mut boundedness = vec![Boundedness::default(); cores];
-        let mut amat = AmatBreakdown::default();
-        let mut requests = RequestBreakdown::default();
-        let mut hist = LatencyHistogram::new();
-        let mut instructions: u64 = 0;
-        // Counts every SSD access, including squashed (context-switched) ones
-        // that never reach the classified `requests` breakdown; the migration
-        // cadence below must advance on those too, otherwise a request total
-        // parked on a multiple of the period would re-fire the policy on
-        // every access.
-        let mut ssd_accesses: u64 = 0;
-        // Squashed accesses alone: the audit's requests-conservation
-        // invariant ties `classified SSD requests + squashed == ssd_accesses`.
-        let mut squashed_accesses: u64 = 0;
-
-        let max_steps = threads as u64 * self.scale.accesses_per_thread * 64 + 1_000_000;
-        let mut steps: u64 = 0;
-        let mut truncated = false;
-
-        while !sched.all_finished() {
-            steps += 1;
-            if steps > max_steps {
-                truncated = true;
-                break;
-            }
-            let core = (0..cores)
-                .min_by_key(|&c| core_clock[c])
-                .expect("at least one core");
-            let now = core_clock[core];
-
-            // Make sure a thread is running on this core.
-            let tid = match sched.running_on(core as u32) {
-                Some(t) => t,
-                None => match sched.schedule_on(core as u32, now) {
-                    Some(t) => t,
-                    None => {
-                        // Nothing runnable: idle until the next wake-up.
-                        let wake = sched
-                            .next_wakeup()
-                            .unwrap_or(now + Nanos::from_micros(1))
-                            .max(now + Nanos::new(100));
-                        boundedness[core].idle += wake - now;
-                        core_clock[core] = wake;
-                        continue;
-                    }
-                },
-            };
-
-            let unit = match execs[tid.0 as usize].next_unit(source) {
-                Some(u) => u,
-                None => {
-                    sched.finish_thread(tid);
-                    continue;
-                }
-            };
-
-            // Compute burst.
-            let compute = core_model.compute_time(unit.instructions);
-            instructions += unit.instructions;
-            boundedness[core].compute += compute;
-            sched.account_runtime(tid, compute);
-            let mut t = now + compute;
-
-            // Address translation.
-            let vpage = unit.access.addr.page();
-            let walk = tlb.access(vpage);
-            boundedness[core].memory += walk;
-            t += walk;
-            let placement = if cfg.infinite_host_dram {
-                PagePlacement::HostDram(PageNumber(vpage.index()))
-            } else {
-                page_table.translate(vpage)
-            };
-
-            match placement {
-                PagePlacement::HostDram(_) => {
-                    let done = host_dram.access(t);
-                    let latency = done - t;
-                    let stall = core_model.effective_stall(latency);
-                    boundedness[core].memory += stall;
-                    sched.account_runtime(tid, stall);
-                    t += stall;
-                    amat.host_dram += latency;
-                    amat.accesses += 1;
-                    requests.host += 1;
-                    hist.record(latency);
-                    if !cfg.infinite_host_dram {
-                        migration.record_host_access(Lpa::new(vpage.index()));
-                    }
-                }
-                PagePlacement::CxlSsd(lpa) => {
-                    ssd_accesses += 1;
-                    let cl = unit.access.addr.cacheline_in_page() as u8;
-                    let arrival = port.deliver_request(t);
-                    let outcome = if unit.access.kind.is_write() {
-                        ssd.handle_write(lpa, cl, arrival)
-                    } else {
-                        ssd.handle_read(lpa, cl, arrival)
-                    };
-                    migration.record_ssd_access(lpa, t);
-                    let will_switch = outcome.delay_hint && cfg.device_triggered_ctx_swt;
-                    if !will_switch {
-                        // Squashed accesses are excluded; their replays are
-                        // classified when they retire (§VI-D).
-                        if unit.access.kind.is_write() {
-                            requests.ssd_write += 1;
-                        } else if outcome.served_by == ServedBy::Flash {
-                            requests.ssd_read_miss += 1;
-                        } else {
-                            requests.ssd_read_hit += 1;
-                        }
-                    }
-
-                    if will_switch {
-                        // Long Delay Exception: squash, block, switch.
-                        squashed_accesses += 1;
-                        let cs = cfg.context_switch_overhead;
-                        boundedness[core].context_switch += cs;
-                        execs[tid.0 as usize].push_back(unit);
-                        let wake = outcome.ready_at.max(outcome.estimated_ready_at);
-                        sched.yield_current(core as u32, t, wake, BlockReason::LongSsdAccess);
-                        t += cs;
-                        // The squashed access is excluded from AMAT (§VI-D).
-                    } else {
-                        let response = if unit.access.kind.is_write() {
-                            // A write completion carries no payload back to
-                            // the host; it is a response, not a new request.
-                            port.deliver_response(outcome.ready_at)
-                        } else {
-                            port.deliver_cacheline(outcome.ready_at)
-                        };
-                        // Monotone by construction (the port never answers
-                        // before the request); `since` fails loudly if an
-                        // accounting bug ever breaks that, instead of the old
-                        // `saturating_sub` masking it as a zero latency.
-                        let latency = response.since(t);
-                        let stall = core_model.effective_stall(latency);
-                        boundedness[core].memory += stall;
-                        sched.account_runtime(tid, stall);
-                        t += stall;
-                        amat.cxl_protocol += cfg.ssd.cxl_protocol_latency * 2;
-                        amat.indexing += outcome.breakdown.indexing;
-                        amat.ssd_dram += outcome.breakdown.ssd_dram;
-                        amat.flash += outcome.breakdown.flash;
-                        amat.accesses += 1;
-                        hist.record(latency);
-
-                        if outcome.served_by == ServedBy::Flash {
-                            let mut ctx = MigrationContext {
-                                ssd: &mut ssd,
-                                page_table: &mut page_table,
-                                tlb: &mut tlb,
-                                port: &mut port,
-                                host_dram: &mut host_dram,
-                            };
-                            migration.on_demand_fill(lpa, t, &mut ctx);
-                        }
-                    }
-
-                    if migration.enabled() && ssd_accesses.is_multiple_of(MIGRATION_PERIOD_ACCESSES)
-                    {
-                        let mut ctx = MigrationContext {
-                            ssd: &mut ssd,
-                            page_table: &mut page_table,
-                            tlb: &mut tlb,
-                            port: &mut port,
-                            host_dram: &mut host_dram,
-                        };
-                        migration.run(t, &mut ctx);
-                    }
-                }
-            }
-
-            core_clock[core] = t;
-            if execs[tid.0 as usize].is_finished() && sched.running_on(core as u32) == Some(tid) {
-                sched.finish_thread(tid);
-            }
-        }
-
-        let exec_time = core_clock.iter().copied().fold(Nanos::ZERO, Nanos::max);
-        // Busy-time figures describe the measured window [0, exec_time], so
-        // they are sampled *before* the end-of-run flush: service committed
-        // to a still-draining backlog (and the flush traffic itself) must not
-        // inflate utilisation past the window's physical capacity.
-        let flash_busy_time = ssd.flash_busy_time_within(exec_time);
-        let compaction_time = ssd.compaction_time_within(exec_time);
-        // Flush all dirty state (cached dirty pages / the write log) so the
-        // flash write traffic of page-granular and log-structured designs is
-        // compared on equal footing.
-        ssd.flush_all(exec_time);
-        let mut total_boundedness = Boundedness::default();
-        for b in &boundedness {
-            total_boundedness.merge(b);
-        }
-
-        // Raw per-layer counters, snapshot after the flush so they describe
-        // the complete run (the conservation laws only close once every
-        // dirty page and log entry has reached flash).
-        let layers = LayerCounters {
-            ssd: *ssd.stats(),
-            flash: *ssd.flash_stats(),
-            ftl: *ssd.ftl_stats(),
-            write_log: ssd.write_log_stats().copied(),
-            write_log_resident_entries: ssd.write_log_resident_entries().unwrap_or(0),
-            migration: *migration.stats(),
-        };
-
-        SimResult {
-            variant: cfg.variant,
-            workload: spec.name().to_string(),
-            threads,
-            cores: cfg.cpu.cores,
-            exec_time,
-            instructions,
-            boundedness: total_boundedness,
-            amat,
-            requests,
-            latency_hist: hist,
-            flash_pages_programmed: ssd.flash_stats().pages_programmed,
-            flash_pages_read: ssd.flash_stats().pages_read,
-            avg_flash_read_latency: ssd.flash_stats().avg_read_latency(),
-            write_amplification: ssd.ftl_stats().write_amplification(),
-            context_switches: sched.stats().context_switches,
-            pages_promoted: migration.stats().promotions,
-            pages_demoted: migration.stats().demotions,
-            compactions: ssd.stats().compactions,
-            compaction_time,
-            log_index_bytes: ssd.write_log_index_bytes().unwrap_or(0),
-            flash_busy_time,
-            flash_channels: cfg.ssd.geometry.channels,
-            gc_campaigns: ssd.ftl_stats().gc_campaigns,
-            ssd_accesses,
-            squashed_accesses,
-            migration_runs: migration.stats().runs,
-            truncated,
-            layers,
-        }
+        system.run(source);
+        system.into_result(&label)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skybyte_types::Nanos;
 
     fn run(variant: VariantKind, workload: WorkloadKind) -> SimResult {
         Simulation::build(variant, workload, &ExperimentScale::tiny()).run()
@@ -740,6 +595,84 @@ mod tests {
             &scale.with_accesses_per_thread(scale.accesses_per_thread + 1),
         );
         assert_ne!(a.trace_file_name(), d.trace_file_name());
+    }
+
+    #[test]
+    fn build_multi_colocates_tenants_on_one_device() {
+        let scale = ExperimentScale::tiny().with_accesses_per_thread(200);
+        let sim = Simulation::build_multi(
+            VariantKind::SkyByteFull,
+            &[(WorkloadKind::Ycsb, 4), (WorkloadKind::Tpcc, 4)],
+            &scale,
+        );
+        assert_eq!(sim.config().threads, 8);
+        assert_eq!(sim.tenants().len(), 2);
+        // Each tenant owns a page-aligned slice of the scaled footprint.
+        let slice = sim.tenant_slice_bytes();
+        assert_eq!(slice % skybyte_types::PAGE_SIZE as u64, 0);
+        assert_eq!(slice, scale.footprint_bytes / 2);
+        let r = sim.run();
+        assert_eq!(r.workload, "ycsb+tpcc");
+        assert_eq!(r.per_tenant.len(), 2);
+        assert_eq!(r.per_tenant[0].tenant, TenantId(0));
+        assert_eq!(r.per_tenant[1].tenant, TenantId(1));
+        for t in &r.per_tenant {
+            assert_eq!(t.threads, 4);
+            assert!(t.accesses() > 0);
+            assert!(t.finish_time > skybyte_types::Nanos::ZERO);
+            assert!(t.finish_time <= r.exec_time);
+        }
+        // Attribution partitions the global counters.
+        assert_eq!(
+            r.per_tenant.iter().map(|t| t.accesses()).sum::<u64>(),
+            r.requests.total()
+        );
+        assert_eq!(
+            r.per_tenant.iter().map(|t| t.instructions).sum::<u64>(),
+            r.instructions
+        );
+    }
+
+    #[test]
+    fn multi_tenant_runs_are_deterministic() {
+        let scale = ExperimentScale::tiny().with_accesses_per_thread(150);
+        let tenants = [(WorkloadKind::Ycsb, 2), (WorkloadKind::Tpcc, 2)];
+        let a = Simulation::build_multi(VariantKind::SkyByteFull, &tenants, &scale).run();
+        let b = Simulation::build_multi(VariantKind::SkyByteFull, &tenants, &scale).run();
+        assert_eq!(a, b, "multi-tenant runs must be bit-identical");
+    }
+
+    #[test]
+    fn multi_tenant_trace_drives_are_a_typed_error() {
+        let scale = ExperimentScale::tiny();
+        let tenants = [(WorkloadKind::Ycsb, 2), (WorkloadKind::Tpcc, 2)];
+        for drive in [
+            TraceDrive::Record {
+                dir: std::path::PathBuf::from("/tmp/never-created"),
+            },
+            TraceDrive::Replay {
+                dir: std::path::PathBuf::from("/tmp/never-created"),
+            },
+        ] {
+            let sim =
+                Simulation::build_multi(VariantKind::BaseCssd, &tenants, &scale).with_drive(drive);
+            assert!(matches!(sim.try_run(), Err(TraceError::Unsupported(_))));
+        }
+    }
+
+    #[test]
+    fn single_tenant_runs_carry_exactly_one_attribution() {
+        let r = run(VariantKind::SkyByteFull, WorkloadKind::Ycsb);
+        assert_eq!(r.per_tenant.len(), 1);
+        let t = &r.per_tenant[0];
+        assert_eq!(t.tenant, TenantId::ZERO);
+        assert_eq!(t.threads, r.threads);
+        assert_eq!(t.requests, r.requests);
+        assert_eq!(t.amat, r.amat);
+        assert_eq!(t.latency_hist, r.latency_hist);
+        assert_eq!(t.ssd_accesses, r.ssd_accesses);
+        assert_eq!(t.squashed_accesses, r.squashed_accesses);
+        assert_eq!(t.instructions, r.instructions);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! paper's comparison: who wins, roughly by how much, and where the
 //! crossovers are.
 
+use crate::engine::Simulation;
 use crate::metrics::geometric_mean;
 use crate::runner::{RunRequest, Runner};
 use crate::scale::ExperimentScale;
@@ -740,6 +741,143 @@ pub fn fig23_migration_mechanisms(runner: &Runner, scale: &ExperimentScale) -> E
 }
 
 // ---------------------------------------------------------------------------
+// Beyond the paper: multi-tenant interference
+// ---------------------------------------------------------------------------
+
+/// The co-location scenarios of the multi-tenant interference experiment:
+/// ycsb (read-mostly, cache-friendly) against tpcc (write-heavy, log
+/// pressure), sweeping the thread-mix ratio at two tenants and the tenant
+/// count at a fixed ratio.
+pub fn mt_scenarios() -> Vec<(&'static str, Vec<(WorkloadKind, u32)>)> {
+    vec![
+        (
+            "2T-6:2",
+            vec![(WorkloadKind::Ycsb, 6), (WorkloadKind::Tpcc, 2)],
+        ),
+        (
+            "2T-4:4",
+            vec![(WorkloadKind::Ycsb, 4), (WorkloadKind::Tpcc, 4)],
+        ),
+        (
+            "2T-2:6",
+            vec![(WorkloadKind::Ycsb, 2), (WorkloadKind::Tpcc, 6)],
+        ),
+        (
+            "4T-2:2:2:2",
+            vec![
+                (WorkloadKind::Ycsb, 2),
+                (WorkloadKind::Tpcc, 2),
+                (WorkloadKind::Ycsb, 2),
+                (WorkloadKind::Tpcc, 2),
+            ],
+        ),
+    ]
+}
+
+/// The variants the interference experiment compares: the baseline CXL-SSD
+/// against the full SkyByte design.
+pub const MT_VARIANTS: [VariantKind; 2] = [VariantKind::BaseCssd, VariantKind::SkyByteFull];
+
+/// Builds tenant `i`'s uncontended twin for a co-location scenario: a
+/// single-tenant simulation whose streams and per-thread budget are
+/// bit-identical to what the tenant ran co-located, so completion-time
+/// deltas measure interference alone.
+///
+/// Stream identity: tenant `i` of a multi-tenant run draws from
+/// `WorkloadSource::new(spec(slice), threads, seed + i)`; the twin seeds its
+/// scale with `seed + i` so its (single) tenant builds the same generators.
+/// Work identity: the engine's per-thread budget is
+/// `accesses_per_thread × cores / total_threads`, so the twin scales
+/// `accesses_per_thread` by the tenant's share of the co-located thread
+/// count (exact for the scenario set used here; `.max(1)` guards tiny
+/// budgets).
+fn mt_solo_twin(
+    variant: VariantKind,
+    tenants: &[(WorkloadKind, u32)],
+    i: usize,
+    workload: WorkloadKind,
+    threads: u32,
+    slice: u64,
+    scale: &ExperimentScale,
+) -> Simulation {
+    let total: u32 = tenants.iter().map(|&(_, t)| t).sum();
+    let apt = (scale.accesses_per_thread * threads as u64 / total as u64).max(1);
+    let mut solo_scale = scale.with_footprint(slice).with_accesses_per_thread(apt);
+    solo_scale.seed = scale.seed + i as u64;
+    Simulation::build_multi(variant, &[(workload, threads)], &solo_scale)
+}
+
+/// Figure "mt" (beyond the paper): per-tenant interference when several
+/// applications share one device.
+///
+/// For every variant × scenario, the co-located tenants run together on one
+/// device via [`Simulation::build_multi`], and each tenant additionally runs
+/// **solo** as its exact twin ([`mt_solo_twin`]: same footprint slice,
+/// thread count, seed and per-thread work budget), so any delta is
+/// interference rather than stream or work-size variance. The table
+/// reports, per `(variant, scenario, tenant)` row:
+///
+/// * `threads` — the tenant's thread count,
+/// * `slowdown` — tenant completion time co-located / solo (> 1 means
+///   co-location cost the tenant time),
+/// * `amat_ratio` — the tenant's AMAT co-located / solo,
+/// * `ssd_share` — the tenant's share of all SSD accesses in the co-located
+///   run.
+///
+/// Repeated runs are simulated once thanks to the runner's memo table.
+pub fn fig_mt_interference(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
+    let scenarios = mt_scenarios();
+    let mut t = ExperimentTable::new(
+        "figure-mt",
+        "Multi-tenant interference: per-tenant slowdown vs solo (ycsb + tpcc)",
+        &["threads", "slowdown", "amat_ratio", "ssd_share"],
+    );
+    // Enumerate every run up front: the co-located run of each scenario,
+    // followed by one solo run per tenant on the same footprint slice,
+    // seeded so the solo stream is bit-identical to the co-located one.
+    let mut runs = Vec::new();
+    for &variant in &MT_VARIANTS {
+        for (_, tenants) in &scenarios {
+            let co = Simulation::build_multi(variant, tenants, scale);
+            let slice = co.tenant_slice_bytes();
+            runs.push(RunRequest::from_simulation(co));
+            for (i, &(workload, threads)) in tenants.iter().enumerate() {
+                let solo = mt_solo_twin(variant, tenants, i, workload, threads, slice, scale);
+                runs.push(RunRequest::from_simulation(solo));
+            }
+        }
+    }
+    let results = runner.run_all(&runs);
+    let mut results = results.iter();
+    for &variant in &MT_VARIANTS {
+        for (label, tenants) in &scenarios {
+            let co = results.next().expect("one co-located result per scenario");
+            let total_ssd = co.ssd_accesses.max(1) as f64;
+            for (i, &(workload, threads)) in tenants.iter().enumerate() {
+                let solo = results.next().expect("one solo result per tenant");
+                let mine = &co.per_tenant[i];
+                let alone = &solo.per_tenant[0];
+                let amat_ratio = if alone.amat.amat() == Nanos::ZERO {
+                    0.0
+                } else {
+                    mine.amat.amat().as_nanos() as f64 / alone.amat.amat().as_nanos() as f64
+                };
+                t.push(
+                    format!("{variant}/{label}/t{i}-{workload}"),
+                    vec![
+                        threads as f64,
+                        mine.slowdown_over(alone),
+                        amat_ratio,
+                        mine.ssd_accesses as f64 / total_ssd,
+                    ],
+                );
+            }
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------------
 
@@ -953,6 +1091,68 @@ mod tests {
                 (sum - 1.0).abs() < 1e-6,
                 "{workload}: request fractions sum to {sum}"
             );
+        }
+    }
+
+    #[test]
+    fn fig_mt_reports_per_tenant_interference() {
+        let r = runner();
+        let t = fig_mt_interference(&r, &tiny());
+        // 2 variants x (3 two-tenant scenarios + 1 four-tenant scenario).
+        assert_eq!(t.rows.len(), 2 * (3 * 2 + 4));
+        for (label, values) in &t.rows {
+            assert!(values[0] >= 2.0, "{label}: thread count");
+            assert!(values[1] > 0.0, "{label}: slowdown must be positive");
+            assert!(
+                values[3] > 0.0 && values[3] < 1.0,
+                "{label}: SSD share must be a genuine fraction, got {}",
+                values[3]
+            );
+        }
+        // Per co-located scenario the tenant SSD shares sum to ~1.
+        let shares: f64 = t
+            .rows
+            .iter()
+            .filter(|(l, _)| l.starts_with("Base-CSSD/2T-4:4/"))
+            .map(|(_, v)| v[3])
+            .sum();
+        assert!((shares - 1.0).abs() < 1e-9, "shares sum to {shares}");
+        // Per variant: 4 co-located runs + 10 solo baselines (each tenant's
+        // solo run replays its exact stream — seeded per tenant slot — so
+        // none coincide in this scenario set). Regenerating on the same
+        // runner is pure memo hits.
+        assert_eq!(r.runs_executed(), 2 * (4 + 10));
+        let again = fig_mt_interference(&r, &tiny());
+        assert_eq!(r.runs_executed(), 2 * (4 + 10));
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn mt_solo_twins_replay_the_exact_tenant_stream_and_budget() {
+        // The interference metric is only meaningful if the solo baseline
+        // executes bit-for-bit the work the tenant ran co-located: same
+        // generators (seed per tenant slot), same per-thread budget.
+        let scale = tiny();
+        let tenants = [(WorkloadKind::Ycsb, 6), (WorkloadKind::Tpcc, 2)];
+        let co = Simulation::build_multi(VariantKind::SkyByteFull, &tenants, &scale);
+        let slice = co.tenant_slice_bytes();
+        let co = co.run();
+        for (i, &(workload, threads)) in tenants.iter().enumerate() {
+            let solo = mt_solo_twin(
+                VariantKind::SkyByteFull,
+                &tenants,
+                i,
+                workload,
+                threads,
+                slice,
+                &scale,
+            )
+            .run();
+            let twin = &solo.per_tenant[0];
+            let mine = &co.per_tenant[i];
+            assert_eq!(twin.instructions, mine.instructions, "tenant {i}");
+            assert_eq!(twin.accesses(), mine.accesses(), "tenant {i}");
+            assert_eq!(twin.threads, mine.threads, "tenant {i}");
         }
     }
 

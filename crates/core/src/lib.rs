@@ -44,12 +44,14 @@ pub mod migration;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod system;
 pub mod thread_exec;
 
 pub use engine::{Simulation, TraceDrive};
-pub use metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult};
+pub use metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
 pub use migration::MigrationEngine;
-pub use report::{figure_table, paper_table, render_figure, render_table};
+pub use report::{figure_table, figure_table_named, paper_table, render_figure, render_table};
 pub use runner::{RunRequest, Runner};
 pub use scale::ExperimentScale;
+pub use system::SystemState;
 pub use thread_exec::ThreadExecutor;

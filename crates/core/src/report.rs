@@ -73,6 +73,28 @@ pub fn figure_table(runner: &Runner, figure: u32, scale: &ExperimentScale) -> Ex
     }
 }
 
+/// Regenerates a figure by the harness's name for it: a paper figure number
+/// (`"14"`) or one of the repository's own experiments (`"mt"`, the
+/// multi-tenant interference study). This is what `figures --fig` resolves.
+pub fn figure_table_named(
+    runner: &Runner,
+    name: &str,
+    scale: &ExperimentScale,
+) -> Result<ExperimentTable, String> {
+    if name == "mt" {
+        return Ok(experiments::fig_mt_interference(runner, scale));
+    }
+    let number: u32 = name
+        .parse()
+        .map_err(|_| format!("unknown figure '{name}' (paper figure number or 'mt')"))?;
+    if !DATA_FIGURES.contains(&number) {
+        return Err(format!(
+            "figure {number} has no data series (architecture diagram)"
+        ));
+    }
+    Ok(figure_table(runner, number, scale))
+}
+
 /// Regenerates one paper table's [`ExperimentTable`] by number (1–4).
 ///
 /// # Panics
@@ -181,6 +203,20 @@ mod tests {
         let s = render_figure(&runner, 5, &scale);
         assert!(s.contains("figure-05"));
         assert!(s.contains("dlrm"));
+    }
+
+    #[test]
+    fn named_lookup_resolves_numbers_and_mt() {
+        let runner = Runner::new(1);
+        let scale = crate::scale::ExperimentScale::tiny().with_accesses_per_thread(200);
+        let f5 = figure_table_named(&runner, "5", &scale).unwrap();
+        assert_eq!(f5.id, "figure-05");
+        assert!(figure_table_named(&runner, "7", &scale)
+            .unwrap_err()
+            .contains("architecture diagram"));
+        assert!(figure_table_named(&runner, "bogus", &scale)
+            .unwrap_err()
+            .contains("unknown figure"));
     }
 
     #[test]

@@ -1,0 +1,689 @@
+//! The system state and access pipeline of the simulation engine.
+//!
+//! `Simulation::run_loop` used to be a ~280-line monolith that owned every
+//! device and counter as loose locals and assumed exactly one workload per
+//! run. This module decomposes it into a [`SystemState`] — every simulated
+//! component (SSD, CXL port, host DRAM, scheduler, page table, TLB,
+//! migration engine, per-core clocks and boundedness) plus all run counters
+//! — and a pipeline of composable steps executed once per work unit:
+//!
+//! 1. [`schedule`](SystemState::schedule) — pick the lagging core, ensure a
+//!    thread runs on it (or advance through idle time),
+//! 2. [`translate`](SystemState::translate) — compute burst, TLB walk and
+//!    page-table lookup,
+//! 3. [`host_access`](SystemState::host_access) /
+//!    [`ssd_access`](SystemState::ssd_access) — resolve the access in host
+//!    DRAM or across the CXL port (squashing it on a `SkyByte-Delay`
+//!    exception), with background migration between accesses,
+//! 4. [`retire`](SystemState::retire) — commit the core clock and detect
+//!    thread completion.
+//!
+//! Every access, squash and latency sample is attributed to the issuing
+//! thread's tenant ([`TenantMap`]) at the same points the global counters
+//! are bumped, so multi-tenancy is native to the pipeline rather than a
+//! post-processing pass: the per-tenant counters and the global counters
+//! are two views of one event stream, and the conservation audit ties them
+//! together. For a single-tenant source the pipeline performs exactly the
+//! operations of the old monolith in the same order — the golden-trace
+//! corpus pins that the refactor is behaviour-preserving bit for bit.
+
+use crate::metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
+use crate::migration::{MigrationContext, MigrationEngine};
+use crate::thread_exec::ThreadExecutor;
+use skybyte_cpu::{Boundedness, CoreTimingModel, HostDram};
+use skybyte_cxl::CxlPort;
+use skybyte_os::{BlockReason, PagePlacement, PageTable, Scheduler, ThreadId, Tlb};
+use skybyte_ssd::{ServedBy, SsdController};
+use skybyte_types::{LatencyHistogram, Lpa, Nanos, PageNumber, SimConfig, TenantMap};
+use skybyte_workloads::{TraceSource, WorkUnit};
+
+/// How often (in SSD accesses, squashed or not) the background migration
+/// policy gets a chance to promote a page. Public so the conservation audit
+/// can bound `migration_runs` per access window.
+pub const MIGRATION_PERIOD_ACCESSES: u64 = 64;
+
+/// The outcome of the scheduling step for one core.
+enum Scheduled {
+    /// A thread runs on the core.
+    Run(ThreadId),
+    /// No thread was runnable; the core idled forward to its next clock.
+    Idle,
+}
+
+/// Everything one simulation run owns: the simulated devices, the OS-side
+/// models, per-core execution state and every counter the run accumulates —
+/// global and per tenant.
+pub struct SystemState {
+    cfg: SimConfig,
+    // Devices and OS models.
+    core_model: CoreTimingModel,
+    ssd: SsdController,
+    port: CxlPort,
+    host_dram: HostDram,
+    sched: Scheduler,
+    page_table: PageTable,
+    tlb: Tlb,
+    migration: MigrationEngine,
+    // Per-core and per-thread execution state.
+    core_clock: Vec<Nanos>,
+    boundedness: Vec<Boundedness>,
+    execs: Vec<ThreadExecutor>,
+    tenant_map: TenantMap,
+    // Global counters.
+    amat: AmatBreakdown,
+    requests: RequestBreakdown,
+    hist: LatencyHistogram,
+    instructions: u64,
+    // Counts every SSD access, including squashed (context-switched) ones
+    // that never reach the classified `requests` breakdown; the migration
+    // cadence must advance on those too, otherwise a request total parked on
+    // a multiple of the period would re-fire the policy on every access.
+    ssd_accesses: u64,
+    // Squashed accesses alone: the audit's requests-conservation invariant
+    // ties `classified SSD requests + squashed == ssd_accesses`.
+    squashed_accesses: u64,
+    // Per-tenant attribution, indexed by dense tenant id.
+    per_tenant: Vec<TenantCounters>,
+    // Step accounting.
+    steps: u64,
+    max_steps: u64,
+    truncated: bool,
+}
+
+impl SystemState {
+    /// Builds the full system for one run: devices from `cfg`, one executor
+    /// per thread of `source` (bounded by `per_thread_budget`), the thread →
+    /// tenant partition read from the source, and the SSD preconditioned
+    /// with `precondition_fraction` of `footprint_pages` so garbage
+    /// collection can trigger (§VI-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the source's stream count
+    /// differs from `cfg.threads`.
+    pub(crate) fn new(
+        cfg: &SimConfig,
+        seed: u64,
+        source: &mut dyn TraceSource,
+        per_thread_budget: u64,
+        footprint_pages: u64,
+        precondition_fraction: f64,
+        max_steps: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid simulation configuration");
+        assert_eq!(
+            source.threads(),
+            cfg.threads,
+            "trace source must provide one stream per configured thread"
+        );
+        let cores = cfg.cpu.cores as usize;
+        let threads = cfg.threads;
+
+        let core_model = CoreTimingModel::new(&cfg.cpu);
+        let mut ssd = SsdController::new(cfg);
+        let port = CxlPort::new(cfg.ssd.cxl_protocol_latency, cfg.ssd.link_bandwidth_bps);
+        let host_dram = HostDram::new(&cfg.host_dram);
+        let mut sched = Scheduler::new(cfg.sched_policy, cfg.context_switch_overhead, seed);
+        let page_table = PageTable::new();
+        let tlb = Tlb::new(cfg.cpu.tlb.entries as usize, cfg.cpu.tlb.miss_latency);
+        let migration = MigrationEngine::new(cfg);
+        let tenant_map = source.tenant_map();
+        let execs: Vec<ThreadExecutor> = (0..threads)
+            .map(|t| ThreadExecutor::new(t, per_thread_budget, source))
+            .collect();
+        for _ in 0..threads {
+            sched.spawn();
+        }
+
+        // Precondition the SSD so garbage collection can trigger (§VI-A).
+        if !cfg.infinite_host_dram {
+            let precondition_pages =
+                ((footprint_pages as f64 * precondition_fraction) as u64).min(ssd.logical_pages());
+            ssd.precondition((0..precondition_pages).map(Lpa::new));
+        }
+
+        let per_tenant = (0..tenant_map.tenant_count())
+            .map(|i| TenantCounters {
+                tenant: skybyte_types::TenantId(i as u32),
+                threads: tenant_map.threads_of(skybyte_types::TenantId(i as u32)),
+                ..TenantCounters::default()
+            })
+            .collect();
+
+        SystemState {
+            cfg: cfg.clone(),
+            core_model,
+            ssd,
+            port,
+            host_dram,
+            sched,
+            page_table,
+            tlb,
+            migration,
+            core_clock: vec![Nanos::ZERO; cores],
+            boundedness: vec![Boundedness::default(); cores],
+            execs,
+            tenant_map,
+            amat: AmatBreakdown::default(),
+            requests: RequestBreakdown::default(),
+            hist: LatencyHistogram::new(),
+            instructions: 0,
+            ssd_accesses: 0,
+            squashed_accesses: 0,
+            per_tenant,
+            steps: 0,
+            max_steps,
+            truncated: false,
+        }
+    }
+
+    /// Runs the pipeline until every thread finished (or the step limit
+    /// trips, which sets the `truncated` flag on the eventual result).
+    pub(crate) fn run(&mut self, source: &mut dyn TraceSource) {
+        while !self.sched.all_finished() {
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                self.truncated = true;
+                break;
+            }
+            self.step(source);
+        }
+    }
+
+    /// One pipeline pass over the lagging core: schedule, pull a unit,
+    /// translate, access (host or SSD), retire.
+    fn step(&mut self, source: &mut dyn TraceSource) {
+        let core = (0..self.core_clock.len())
+            .min_by_key(|&c| self.core_clock[c])
+            .expect("at least one core");
+        let now = self.core_clock[core];
+
+        let tid = match self.schedule(core, now) {
+            Scheduled::Run(tid) => tid,
+            Scheduled::Idle => return,
+        };
+
+        let unit = match self.execs[tid.0 as usize].next_unit(source) {
+            Some(u) => u,
+            None => {
+                self.finish_thread(tid, now);
+                return;
+            }
+        };
+
+        let (t, placement) = self.translate(core, tid, &unit, now);
+        let t = match placement {
+            PagePlacement::HostDram(_) => self.host_access(core, tid, &unit, t),
+            PagePlacement::CxlSsd(lpa) => self.ssd_access(core, tid, unit, lpa, t),
+        };
+        self.retire(core, tid, t);
+    }
+
+    /// Scheduling step: make sure a thread runs on `core`, or idle the core
+    /// forward to the next wake-up.
+    ///
+    /// A fully blocked core cannot spin: the idle advance moves its clock by
+    /// at least 100 ns per pass (and to the earliest blocked wake-up when
+    /// one exists), with the idle time accounted in [`Boundedness::idle`].
+    fn schedule(&mut self, core: usize, now: Nanos) -> Scheduled {
+        match self.sched.running_on(core as u32) {
+            Some(t) => Scheduled::Run(t),
+            None => match self.sched.schedule_on(core as u32, now) {
+                Some(t) => Scheduled::Run(t),
+                None => {
+                    // Nothing runnable: idle until the next wake-up.
+                    let wake = self
+                        .sched
+                        .next_wakeup()
+                        .unwrap_or(now + Nanos::from_micros(1))
+                        .max(now + Nanos::new(100));
+                    self.boundedness[core].idle += wake - now;
+                    self.core_clock[core] = wake;
+                    Scheduled::Idle
+                }
+            },
+        }
+    }
+
+    /// Translation step: account the compute burst, walk the TLB and
+    /// resolve the page's placement through the OS page table. Returns the
+    /// time the access issues and where it goes.
+    fn translate(
+        &mut self,
+        core: usize,
+        tid: ThreadId,
+        unit: &WorkUnit,
+        now: Nanos,
+    ) -> (Nanos, PagePlacement) {
+        let tenant = self.tenant_map.tenant_of(tid.0).index();
+
+        // Compute burst.
+        let compute = self.core_model.compute_time(unit.instructions);
+        self.instructions += unit.instructions;
+        self.per_tenant[tenant].instructions += unit.instructions;
+        self.boundedness[core].compute += compute;
+        self.sched.account_runtime(tid, compute);
+        let mut t = now + compute;
+
+        // Address translation.
+        let vpage = unit.access.addr.page();
+        let walk = self.tlb.access(vpage);
+        self.boundedness[core].memory += walk;
+        t += walk;
+        let placement = if self.cfg.infinite_host_dram {
+            PagePlacement::HostDram(PageNumber(vpage.index()))
+        } else {
+            self.page_table.translate(vpage)
+        };
+        (t, placement)
+    }
+
+    /// Host-DRAM access step: the page is host-resident (or the run models
+    /// infinite host DRAM); the access resolves locally and feeds the
+    /// migration engine's recency state.
+    fn host_access(&mut self, core: usize, tid: ThreadId, unit: &WorkUnit, t: Nanos) -> Nanos {
+        let tenant = self.tenant_map.tenant_of(tid.0).index();
+        let vpage = unit.access.addr.page();
+        let done = self.host_dram.access(t);
+        let latency = done - t;
+        let stall = self.core_model.effective_stall(latency);
+        self.boundedness[core].memory += stall;
+        self.sched.account_runtime(tid, stall);
+        let t = t + stall;
+        self.amat.host_dram += latency;
+        self.amat.accesses += 1;
+        self.requests.host += 1;
+        self.hist.record(latency);
+        let counters = &mut self.per_tenant[tenant];
+        counters.amat.host_dram += latency;
+        counters.amat.accesses += 1;
+        counters.requests.host += 1;
+        counters.latency_hist.record(latency);
+        if !self.cfg.infinite_host_dram {
+            self.migration.record_host_access(Lpa::new(vpage.index()));
+        }
+        t
+    }
+
+    /// SSD access step: the access crosses the CXL port to the controller.
+    /// A `SkyByte-Delay` hint (with the coordinated context switch enabled)
+    /// squashes the access and yields the core; otherwise the access
+    /// retires with its full latency classified and attributed. Background
+    /// migration runs on its access-count cadence either way.
+    fn ssd_access(
+        &mut self,
+        core: usize,
+        tid: ThreadId,
+        unit: WorkUnit,
+        lpa: Lpa,
+        t: Nanos,
+    ) -> Nanos {
+        let tenant = self.tenant_map.tenant_of(tid.0).index();
+        let mut t = t;
+        self.ssd_accesses += 1;
+        self.per_tenant[tenant].ssd_accesses += 1;
+        let cl = unit.access.addr.cacheline_in_page() as u8;
+        let arrival = self.port.deliver_request(t);
+        let outcome = if unit.access.kind.is_write() {
+            self.ssd.handle_write(lpa, cl, arrival)
+        } else {
+            self.ssd.handle_read(lpa, cl, arrival)
+        };
+        self.migration.record_ssd_access(lpa, t);
+        let will_switch = outcome.delay_hint && self.cfg.device_triggered_ctx_swt;
+        if !will_switch {
+            // Squashed accesses are excluded; their replays are classified
+            // when they retire (§VI-D).
+            let counters = &mut self.per_tenant[tenant];
+            if unit.access.kind.is_write() {
+                self.requests.ssd_write += 1;
+                counters.requests.ssd_write += 1;
+            } else if outcome.served_by == ServedBy::Flash {
+                self.requests.ssd_read_miss += 1;
+                counters.requests.ssd_read_miss += 1;
+            } else {
+                self.requests.ssd_read_hit += 1;
+                counters.requests.ssd_read_hit += 1;
+            }
+        }
+
+        if will_switch {
+            // Long Delay Exception: squash, block, switch.
+            self.squashed_accesses += 1;
+            let counters = &mut self.per_tenant[tenant];
+            counters.squashed_accesses += 1;
+            counters.context_switches += 1;
+            let cs = self.cfg.context_switch_overhead;
+            self.boundedness[core].context_switch += cs;
+            self.execs[tid.0 as usize].push_back(unit);
+            let wake = outcome.ready_at.max(outcome.estimated_ready_at);
+            self.sched
+                .yield_current(core as u32, t, wake, BlockReason::LongSsdAccess);
+            t += cs;
+            // The squashed access is excluded from AMAT (§VI-D).
+        } else {
+            let response = if unit.access.kind.is_write() {
+                // A write completion carries no payload back to the host;
+                // it is a response, not a new request.
+                self.port.deliver_response(outcome.ready_at)
+            } else {
+                self.port.deliver_cacheline(outcome.ready_at)
+            };
+            // Monotone by construction (the port never answers before the
+            // request); `since` fails loudly if an accounting bug ever
+            // breaks that, instead of the old `saturating_sub` masking it
+            // as a zero latency.
+            let latency = response.since(t);
+            let stall = self.core_model.effective_stall(latency);
+            self.boundedness[core].memory += stall;
+            self.sched.account_runtime(tid, stall);
+            t += stall;
+            let cxl = self.cfg.ssd.cxl_protocol_latency * 2;
+            self.amat.cxl_protocol += cxl;
+            self.amat.indexing += outcome.breakdown.indexing;
+            self.amat.ssd_dram += outcome.breakdown.ssd_dram;
+            self.amat.flash += outcome.breakdown.flash;
+            self.amat.accesses += 1;
+            self.hist.record(latency);
+            let counters = &mut self.per_tenant[tenant];
+            counters.amat.cxl_protocol += cxl;
+            counters.amat.indexing += outcome.breakdown.indexing;
+            counters.amat.ssd_dram += outcome.breakdown.ssd_dram;
+            counters.amat.flash += outcome.breakdown.flash;
+            counters.amat.accesses += 1;
+            counters.latency_hist.record(latency);
+
+            if outcome.served_by == ServedBy::Flash {
+                let mut ctx = MigrationContext {
+                    ssd: &mut self.ssd,
+                    page_table: &mut self.page_table,
+                    tlb: &mut self.tlb,
+                    port: &mut self.port,
+                    host_dram: &mut self.host_dram,
+                };
+                self.migration.on_demand_fill(lpa, t, &mut ctx);
+            }
+        }
+
+        if self.migration.enabled() && self.ssd_accesses.is_multiple_of(MIGRATION_PERIOD_ACCESSES) {
+            let mut ctx = MigrationContext {
+                ssd: &mut self.ssd,
+                page_table: &mut self.page_table,
+                tlb: &mut self.tlb,
+                port: &mut self.port,
+                host_dram: &mut self.host_dram,
+            };
+            self.migration.run(t, &mut ctx);
+        }
+        t
+    }
+
+    /// Retire step: commit the core's clock and finish the thread if its
+    /// stream is exhausted.
+    fn retire(&mut self, core: usize, tid: ThreadId, t: Nanos) {
+        self.core_clock[core] = t;
+        if self.execs[tid.0 as usize].is_finished()
+            && self.sched.running_on(core as u32) == Some(tid)
+        {
+            self.finish_thread(tid, t);
+        }
+    }
+
+    /// Marks `tid` finished and records the instant against its tenant's
+    /// completion time (the per-tenant slowdown metric of the interference
+    /// experiments).
+    fn finish_thread(&mut self, tid: ThreadId, at: Nanos) {
+        self.sched.finish_thread(tid);
+        let counters = &mut self.per_tenant[self.tenant_map.tenant_of(tid.0).index()];
+        counters.finish_time = counters.finish_time.max(at);
+    }
+
+    /// Closes the run: samples the busy-time windows, flushes all dirty
+    /// device state, snapshots every layer's counters (including the CXL
+    /// port) and assembles the [`SimResult`] labelled `workload_label`.
+    pub(crate) fn into_result(mut self, workload_label: &str) -> SimResult {
+        let exec_time = self
+            .core_clock
+            .iter()
+            .copied()
+            .fold(Nanos::ZERO, Nanos::max);
+        // Busy-time figures describe the measured window [0, exec_time], so
+        // they are sampled *before* the end-of-run flush: service committed
+        // to a still-draining backlog (and the flush traffic itself) must
+        // not inflate utilisation past the window's physical capacity.
+        let flash_busy_time = self.ssd.flash_busy_time_within(exec_time);
+        let compaction_time = self.ssd.compaction_time_within(exec_time);
+        // Flush all dirty state (cached dirty pages / the write log) so the
+        // flash write traffic of page-granular and log-structured designs
+        // is compared on equal footing.
+        self.ssd.flush_all(exec_time);
+        let mut total_boundedness = Boundedness::default();
+        for b in &self.boundedness {
+            total_boundedness.merge(b);
+        }
+
+        // Raw per-layer counters, snapshot after the flush so they describe
+        // the complete run (the conservation laws only close once every
+        // dirty page and log entry has reached flash).
+        let layers = LayerCounters {
+            cxl: *self.port.stats(),
+            ssd: *self.ssd.stats(),
+            flash: *self.ssd.flash_stats(),
+            ftl: *self.ssd.ftl_stats(),
+            write_log: self.ssd.write_log_stats().copied(),
+            write_log_resident_entries: self.ssd.write_log_resident_entries().unwrap_or(0),
+            migration: *self.migration.stats(),
+        };
+
+        SimResult {
+            variant: self.cfg.variant,
+            workload: workload_label.to_string(),
+            threads: self.cfg.threads,
+            cores: self.cfg.cpu.cores,
+            exec_time,
+            instructions: self.instructions,
+            boundedness: total_boundedness,
+            amat: self.amat,
+            requests: self.requests,
+            latency_hist: self.hist,
+            flash_pages_programmed: self.ssd.flash_stats().pages_programmed,
+            flash_pages_read: self.ssd.flash_stats().pages_read,
+            avg_flash_read_latency: self.ssd.flash_stats().avg_read_latency(),
+            write_amplification: self.ssd.ftl_stats().write_amplification(),
+            context_switches: self.sched.stats().context_switches,
+            pages_promoted: self.migration.stats().promotions,
+            pages_demoted: self.migration.stats().demotions,
+            compactions: self.ssd.stats().compactions,
+            compaction_time,
+            log_index_bytes: self.ssd.write_log_index_bytes().unwrap_or(0),
+            flash_busy_time,
+            flash_channels: self.cfg.ssd.geometry.channels,
+            gc_campaigns: self.ssd.ftl_stats().gc_campaigns,
+            ssd_accesses: self.ssd_accesses,
+            squashed_accesses: self.squashed_accesses,
+            migration_runs: self.migration.stats().runs,
+            truncated: self.truncated,
+            layers,
+            per_tenant: self.per_tenant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skybyte_trace::VecSource;
+    use skybyte_types::{TenantId, VariantKind};
+    use skybyte_workloads::TraceRecord;
+
+    fn tiny_cfg(threads: u32, cores: u32) -> SimConfig {
+        let scale = crate::scale::ExperimentScale::tiny();
+        scale
+            .apply(SimConfig::default().with_variant(VariantKind::SkyByteC))
+            .with_threads(threads)
+            .with_cores(cores)
+    }
+
+    fn build(cfg: &SimConfig, source: &mut dyn TraceSource, budget: u64) -> SystemState {
+        SystemState::new(cfg, 7, source, budget, 1024, 0.8, 1_000_000)
+    }
+
+    #[test]
+    fn idle_core_advances_to_the_next_wakeup_and_accounts_idle_time() {
+        let mut source = VecSource::new("idle", vec![vec![TraceRecord::read(5, 0)]]);
+        let cfg = tiny_cfg(1, 1);
+        let mut sys = build(&cfg, &mut source, u64::MAX);
+        // Block the only thread far in the future, then ask the core for
+        // work: the scheduler has nothing runnable, so the core must idle
+        // exactly to the wake-up instant — not spin at `now`.
+        let tid = sys.sched.schedule_on(0, Nanos::ZERO).expect("runnable");
+        let wake = Nanos::from_micros(50);
+        sys.sched
+            .yield_current(0, Nanos::ZERO, wake, BlockReason::LongSsdAccess);
+        assert!(matches!(sys.schedule(0, Nanos::ZERO), Scheduled::Idle));
+        assert_eq!(sys.core_clock[0], wake);
+        assert_eq!(sys.boundedness[0].idle, wake);
+        // At the wake-up the thread is runnable again.
+        match sys.schedule(0, wake) {
+            Scheduled::Run(t) => assert_eq!(t, tid),
+            Scheduled::Idle => panic!("thread must wake at its wake-up time"),
+        }
+    }
+
+    #[test]
+    fn idle_core_with_no_wakeup_falls_back_to_a_bounded_advance() {
+        // Two threads, one core: finish neither, just block both without a
+        // wake-up in the past. With no blocked thread at all (all finished
+        // is handled by the loop), next_wakeup() is None and the core must
+        // still advance by the 1 µs fallback instead of spinning.
+        let mut source = VecSource::new(
+            "idle2",
+            vec![
+                vec![TraceRecord::read(5, 0)],
+                vec![TraceRecord::read(5, 64)],
+            ],
+        );
+        let cfg = tiny_cfg(2, 1);
+        let mut sys = build(&cfg, &mut source, u64::MAX);
+        // Exhaust both threads' runnability by blocking them.
+        for _ in 0..2 {
+            let _ = sys.sched.schedule_on(0, Nanos::ZERO).expect("runnable");
+            sys.sched.yield_current(
+                0,
+                Nanos::ZERO,
+                Nanos::from_secs(1),
+                BlockReason::LongSsdAccess,
+            );
+        }
+        let now = Nanos::ZERO;
+        assert!(matches!(sys.schedule(0, now), Scheduled::Idle));
+        // The advance lands on the earliest wake-up (1 s), clamped below by
+        // the 100 ns minimum step.
+        assert_eq!(sys.core_clock[0], Nanos::from_secs(1));
+        assert!(sys.boundedness[0].idle >= Nanos::new(100));
+    }
+
+    #[test]
+    fn idle_advance_is_never_smaller_than_the_minimum_step() {
+        // A wake-up in the immediate past must not produce a zero-width
+        // idle advance (the spin guard).
+        let mut source = VecSource::new("spin", vec![vec![TraceRecord::read(5, 0)]]);
+        let cfg = tiny_cfg(1, 1);
+        let mut sys = build(&cfg, &mut source, u64::MAX);
+        let _ = sys.sched.schedule_on(0, Nanos::ZERO).expect("runnable");
+        sys.sched
+            .yield_current(0, Nanos::ZERO, Nanos::new(1), BlockReason::LongSsdAccess);
+        // Pretend the core clock already passed the wake-up: schedule_on
+        // unblocks the thread, so force the idle path by blocking again
+        // after consuming the wake-up.
+        sys.core_clock[0] = Nanos::new(1_000);
+        let tid = sys.sched.schedule_on(0, Nanos::new(1_000)).expect("woken");
+        sys.sched.yield_current(
+            0,
+            Nanos::new(1_000),
+            Nanos::new(900), // wake-up already in the past relative to now
+            BlockReason::LongSsdAccess,
+        );
+        // The thread is immediately runnable again (wake <= now), so the
+        // core keeps running it rather than idling — no spin either way.
+        match sys.schedule(0, Nanos::new(1_000)) {
+            Scheduled::Run(t) => assert_eq!(t, tid),
+            Scheduled::Idle => {
+                assert!(sys.core_clock[0] >= Nanos::new(1_100));
+            }
+        }
+    }
+
+    #[test]
+    fn fully_blocked_single_core_run_lands_idle_time_in_boundedness() {
+        // End to end: SkyByte-C on one core with one thread squashes long
+        // accesses; while the thread is blocked the core has nothing to run
+        // and must account genuine idle time (not spin the step counter).
+        let scale = crate::scale::ExperimentScale::tiny().with_accesses_per_thread(100);
+        let cfg = scale
+            .apply(SimConfig::default().with_variant(VariantKind::SkyByteC))
+            .with_threads(1)
+            .with_cores(1);
+        let sim = crate::engine::Simulation::with_config(
+            cfg,
+            skybyte_workloads::WorkloadKind::Srad,
+            &scale,
+        );
+        let r = sim.run();
+        assert!(!r.truncated, "a blocked core must advance, not spin");
+        assert!(r.context_switches > 0, "squashes expected under SkyByte-C");
+        assert!(
+            r.boundedness.idle > Nanos::ZERO,
+            "blocked-core time must land in Boundedness::idle"
+        );
+    }
+
+    #[test]
+    fn tenant_counters_are_attributed_by_thread() {
+        // Two threads of two different tenants via a stacked source: every
+        // counter must land on the issuing thread's tenant.
+        use skybyte_trace::{BoxedSource, Tenants};
+        let a: BoxedSource = Box::new(VecSource::new(
+            "a",
+            vec![(0..40).map(|i| TraceRecord::read(5, i * 64)).collect()],
+        ));
+        let b: BoxedSource = Box::new(VecSource::new(
+            "b",
+            vec![(0..10)
+                .map(|i| TraceRecord::write(5, 4096 + i * 64))
+                .collect()],
+        ));
+        let mut stacked = Tenants::new(vec![a, b]);
+        let scale = crate::scale::ExperimentScale::tiny();
+        let cfg = scale
+            .apply(SimConfig::default().with_variant(VariantKind::BaseCssd))
+            .with_threads(2)
+            .with_cores(2);
+        let mut sys = SystemState::new(&cfg, 7, &mut stacked, u64::MAX, 1024, 0.8, 1_000_000);
+        sys.run(&mut stacked);
+        let r = sys.into_result("stacked");
+        assert_eq!(r.per_tenant.len(), 2);
+        assert_eq!(r.per_tenant[0].tenant, TenantId(0));
+        assert_eq!(r.per_tenant[1].tenant, TenantId(1));
+        assert_eq!(r.per_tenant[0].threads, 1);
+        assert_eq!(r.per_tenant[0].accesses(), 40);
+        assert_eq!(r.per_tenant[1].accesses(), 10);
+        // Tenant 0 only reads, tenant 1 only writes.
+        assert_eq!(r.per_tenant[0].requests.ssd_write, 0);
+        assert_eq!(
+            r.per_tenant[1].requests.ssd_write + r.per_tenant[1].requests.host,
+            10
+        );
+        // Sums close against the global counters.
+        assert_eq!(
+            r.per_tenant.iter().map(|t| t.accesses()).sum::<u64>(),
+            r.requests.total()
+        );
+        assert_eq!(
+            r.per_tenant.iter().map(|t| t.ssd_accesses).sum::<u64>(),
+            r.ssd_accesses
+        );
+        assert!(r.per_tenant.iter().all(|t| t.finish_time <= r.exec_time));
+        assert!(r.per_tenant.iter().all(|t| t.finish_time > Nanos::ZERO));
+    }
+}

@@ -4,15 +4,25 @@
 //! * [`Mix`] — deterministic proportional interleave of N sources by weight,
 //! * [`Concat`] — one source after another, per thread,
 //! * [`LoopN`] — repeat a rewindable source a fixed number of times,
-//! * [`Shift`] — re-base a source's footprint by a byte offset.
+//! * [`Shift`] — re-base a source's footprint by a byte offset,
+//! * [`Tenants`] — stack sources side by side on the thread axis, one
+//!   tenant per input.
 //!
 //! All compositors are themselves [`TraceSource`]s, so they nest: a two
 //! tenant mix of a shifted replay and a live generator is
 //! `Mix::new(vec![(Box::new(Shift::new(a, off)), 2), (Box::new(b), 1)])`.
+//!
+//! Every compositor also reports the thread → tenant partition of its
+//! output ([`TraceSource::tenant_of`]): [`Shift`] and [`LoopN`] forward
+//! their inner source's tenancy, [`Mix`] and [`Concat`] report the tenant
+//! of the first input contributing to a thread (their output threads merge
+//! streams, so tenancy is per-thread, not per-record), and [`Tenants`]
+//! assigns each input a fresh tenant id.
 
 use crate::error::TraceError;
 use crate::record::TraceRecord;
 use crate::source::TraceSource;
+use skybyte_types::TenantId;
 
 /// A boxed source, the currency of composition.
 pub type BoxedSource = Box<dyn TraceSource>;
@@ -109,6 +119,16 @@ impl TraceSource for Mix {
             }
         }
     }
+
+    /// A mixed thread interleaves records of several inputs, so tenancy is
+    /// resolved per thread: the first input carrying the thread names it.
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        self.inputs
+            .iter()
+            .find(|(s, _)| thread < s.threads())
+            .map(|(s, _)| s.tenant_of(thread))
+            .unwrap_or(TenantId::ZERO)
+    }
 }
 
 /// Plays sources back to back: per thread, the whole stream of the first
@@ -166,6 +186,16 @@ impl TraceSource for Concat {
             *current += 1;
         }
         Ok(None)
+    }
+
+    /// A concatenated thread plays several inputs back to back, so tenancy
+    /// is resolved per thread: the first input carrying the thread names it.
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        self.inputs
+            .iter()
+            .find(|s| thread < s.threads())
+            .map(|s| s.tenant_of(thread))
+            .unwrap_or(TenantId::ZERO)
     }
 }
 
@@ -229,6 +259,10 @@ impl TraceSource for LoopN {
             }
         }
     }
+
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        self.inner.tenant_of(thread)
+    }
 }
 
 /// Re-bases a source's footprint by adding a byte offset to every address
@@ -267,6 +301,104 @@ impl TraceSource for Shift {
 
     fn reset_thread(&mut self, thread: u32) -> Result<bool, TraceError> {
         self.inner.reset_thread(thread)
+    }
+
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        self.inner.tenant_of(thread)
+    }
+}
+
+/// Stacks sources side by side on the thread axis: input 0 provides threads
+/// `0..n0`, input 1 provides threads `n0..n0+n1`, and so on. This is the
+/// engine-facing construction for co-locating independent applications on
+/// one simulated device — each input keeps its own streams and footprint
+/// (wrap inputs in [`Shift`] for disjoint address ranges), and the output's
+/// [`TraceSource::tenant_map`] records the partition the per-tenant
+/// counters are attributed by.
+///
+/// Tenancy: an input that reports an explicit (nonzero) tenant for a stream
+/// keeps it; untagged streams ([`TenantId::ZERO`], the single-tenant
+/// default every plain source reports) are assigned their input's position
+/// as the tenant id. A caller's explicit tag is therefore never silently
+/// overridden, while stacking plain sources still yields one tenant per
+/// input.
+#[derive(Debug)]
+pub struct Tenants {
+    inputs: Vec<BoxedSource>,
+    /// Exclusive prefix sums of the inputs' thread counts.
+    starts: Vec<u32>,
+    threads: u32,
+}
+
+impl Tenants {
+    /// Stacks `inputs`, assigning input `i` the tenant id `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the total thread count overflows
+    /// `u32`.
+    pub fn new(inputs: Vec<BoxedSource>) -> Self {
+        assert!(!inputs.is_empty(), "Tenants needs at least one input");
+        let mut starts = Vec::with_capacity(inputs.len());
+        let mut total: u32 = 0;
+        for s in &inputs {
+            starts.push(total);
+            total = total
+                .checked_add(s.threads())
+                .expect("total thread count overflows u32");
+        }
+        Tenants {
+            inputs,
+            starts,
+            threads: total,
+        }
+    }
+
+    /// Maps a global thread index to `(input index, local thread index)`.
+    fn locate(&self, thread: u32) -> Result<(usize, u32), TraceError> {
+        if thread >= self.threads {
+            return Err(TraceError::ThreadOutOfRange {
+                threads: self.threads,
+                requested: thread,
+            });
+        }
+        let i = self.starts.partition_point(|&s| s <= thread) - 1;
+        Ok((i, thread - self.starts[i]))
+    }
+}
+
+impl TraceSource for Tenants {
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn identity(&self) -> String {
+        let parts: Vec<String> = self.inputs.iter().map(|s| s.identity()).collect();
+        format!("tenants({})", parts.join(","))
+    }
+
+    fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+        let (i, local) = self.locate(thread)?;
+        self.inputs[i].next_record(local)
+    }
+
+    fn reset_thread(&mut self, thread: u32) -> Result<bool, TraceError> {
+        let (i, local) = self.locate(thread)?;
+        self.inputs[i].reset_thread(local)
+    }
+
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        match self.locate(thread) {
+            Ok((i, local)) => {
+                let tagged = self.inputs[i].tenant_of(local);
+                if tagged == TenantId::ZERO {
+                    TenantId(i as u32)
+                } else {
+                    tagged
+                }
+            }
+            Err(_) => TenantId::ZERO,
+        }
     }
 }
 
@@ -389,6 +521,97 @@ mod tests {
         // Shift preserves rewindability.
         assert!(shifted.reset_thread(0).unwrap());
         assert_eq!(shifted.next_record(0).unwrap().unwrap().addr(), 1 << 30);
+    }
+
+    #[test]
+    fn tenants_stacks_threads_and_assigns_tenant_ids() {
+        let mut stacked = Tenants::new(vec![
+            boxed("a", vec![tagged(3, 1), tagged(3, 1)]),
+            boxed("b", vec![tagged(2, 2)]),
+        ]);
+        assert_eq!(stacked.threads(), 3);
+        assert_eq!(stacked.identity(), "tenants(vec:a,vec:b)");
+        // Threads 0–1 replay source a; thread 2 replays source b's thread 0.
+        assert!(drain(&mut stacked, 0).iter().all(|r| r.instructions == 1));
+        assert!(drain(&mut stacked, 1).iter().all(|r| r.instructions == 1));
+        let t2 = drain(&mut stacked, 2);
+        assert_eq!(t2.len(), 2);
+        assert!(t2.iter().all(|r| r.instructions == 2));
+        // The tenant partition follows the stacking.
+        assert_eq!(stacked.tenant_of(0), TenantId(0));
+        assert_eq!(stacked.tenant_of(1), TenantId(0));
+        assert_eq!(stacked.tenant_of(2), TenantId(1));
+        let map = stacked.tenant_map();
+        assert_eq!(map.tenant_count(), 2);
+        assert_eq!(map.threads_of(TenantId(0)), 2);
+        assert_eq!(map.threads_of(TenantId(1)), 1);
+        // Stacked streams stay rewindable.
+        assert!(stacked.reset_thread(2).unwrap());
+        assert_eq!(stacked.next_record(2).unwrap(), Some(t2[0]));
+        assert!(matches!(
+            stacked.next_record(3),
+            Err(TraceError::ThreadOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn tenants_honours_explicit_inner_tags() {
+        // An inner source's explicit nonzero tenant wins over the
+        // positional id; untagged inputs fall back to their position.
+        #[derive(Debug)]
+        struct Tagged(VecSource, TenantId);
+        impl TraceSource for Tagged {
+            fn threads(&self) -> u32 {
+                self.0.threads()
+            }
+            fn identity(&self) -> String {
+                self.0.identity()
+            }
+            fn next_record(&mut self, thread: u32) -> Result<Option<TraceRecord>, TraceError> {
+                self.0.next_record(thread)
+            }
+            fn tenant_of(&self, _thread: u32) -> TenantId {
+                self.1
+            }
+        }
+        let explicit = Tagged(VecSource::new("a", vec![tagged(1, 1)]), TenantId(5));
+        let stacked = Tenants::new(vec![
+            Box::new(explicit) as BoxedSource,
+            boxed("b", vec![tagged(1, 2)]),
+        ]);
+        assert_eq!(stacked.tenant_of(0), TenantId(5), "explicit tag kept");
+        assert_eq!(stacked.tenant_of(1), TenantId(1), "untagged: positional");
+        assert_eq!(stacked.tenant_map().tenant_count(), 6);
+    }
+
+    #[test]
+    fn compositors_forward_tenancy() {
+        // Shift and LoopN forward the inner partition; Mix and Concat report
+        // the first contributing input's tenant per thread.
+        let stacked = || {
+            Box::new(Tenants::new(vec![
+                boxed("a", vec![tagged(2, 1)]),
+                boxed("b", vec![tagged(2, 2)]),
+            ])) as BoxedSource
+        };
+        let shifted = Shift::new(stacked(), 4096);
+        assert_eq!(shifted.tenant_of(1), TenantId(1));
+        let looped = LoopN::new(stacked(), 2);
+        assert_eq!(looped.tenant_of(0), TenantId(0));
+        assert_eq!(looped.tenant_of(1), TenantId(1));
+        let mix = Mix::new(vec![(stacked(), 1), (boxed("c", vec![tagged(2, 3)]), 1)]);
+        assert_eq!(mix.tenant_of(0), TenantId(0));
+        assert_eq!(mix.tenant_of(1), TenantId(1));
+        let cat = Concat::new(vec![boxed("c", vec![tagged(2, 3)]), stacked()]);
+        // Thread 0 exists in the first (single-tenant) input, thread 1 only
+        // in the stacked one.
+        assert_eq!(cat.tenant_of(0), TenantId(0));
+        assert_eq!(cat.tenant_of(1), TenantId(1));
+        // Plain sources default to a single tenant.
+        assert_eq!(
+            boxed("a", vec![tagged(1, 1)]).tenant_map().tenant_count(),
+            1
+        );
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //!   Figures 5–6,
 //! * the [`TraceSource`] trait unifying live generators and replayed files,
 //!   with a [`Record`] adapter that tees any source to disk, and
-//! * **compositors** ([`Mix`], [`Concat`], [`LoopN`], [`Shift`]) that build
-//!   multi-tenant scenarios out of existing traces.
+//! * **compositors** ([`Mix`], [`Concat`], [`LoopN`], [`Shift`], and the
+//!   thread-stacking [`Tenants`]) that build multi-tenant scenarios out of
+//!   existing traces; every source reports its thread → tenant partition
+//!   through [`TraceSource::tenant_map`].
 //!
 //! Everything is deterministic, so a recorded trace replayed through the
 //! simulator produces bit-identical results to the live run that recorded
@@ -54,7 +56,7 @@ pub mod source;
 pub mod stats;
 mod varint;
 
-pub use compose::{BoxedSource, Concat, LoopN, Mix, Shift};
+pub use compose::{BoxedSource, Concat, LoopN, Mix, Shift, Tenants};
 pub use error::TraceError;
 pub use format::{
     ThreadReader, TraceHeader, TraceReader, TraceWriter, FORMAT_VERSION, MAGIC,

@@ -5,6 +5,7 @@
 use crate::error::TraceError;
 use crate::format::{ThreadReader, TraceHeader, TraceReader, TraceWriter};
 use crate::record::TraceRecord;
+use skybyte_types::{TenantId, TenantMap};
 use std::io::{BufReader, Write};
 use std::path::{Path, PathBuf};
 
@@ -33,6 +34,21 @@ pub trait TraceSource: std::fmt::Debug {
     fn reset_thread(&mut self, _thread: u32) -> Result<bool, TraceError> {
         Ok(false)
     }
+
+    /// The tenant that `thread`'s stream belongs to. Single-tenant sources
+    /// (the default) report [`TenantId::ZERO`] for every thread; compositors
+    /// forward their inputs' tenancy, and [`crate::compose::Tenants`] stacks
+    /// inputs into distinct tenants.
+    fn tenant_of(&self, _thread: u32) -> TenantId {
+        TenantId::ZERO
+    }
+
+    /// The full thread → tenant partition of this source, built from
+    /// [`tenant_of`](Self::tenant_of). This is what the simulation engine
+    /// reads once at startup to attribute every access to a tenant.
+    fn tenant_map(&self) -> TenantMap {
+        TenantMap::from_fn(self.threads(), |t| self.tenant_of(t))
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
@@ -50,6 +66,10 @@ impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
 
     fn reset_thread(&mut self, thread: u32) -> Result<bool, TraceError> {
         (**self).reset_thread(thread)
+    }
+
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        (**self).tenant_of(thread)
     }
 }
 
@@ -99,6 +119,10 @@ impl<S: TraceSource, W: Write + std::fmt::Debug> TraceSource for Record<S, W> {
 
     // reset_thread deliberately keeps the default: rewinding a tee would
     // re-record the rewound prefix.
+
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        self.inner.tenant_of(thread)
+    }
 }
 
 /// Replays an `.sbt` file as a [`TraceSource`].
@@ -106,6 +130,11 @@ impl<S: TraceSource, W: Write + std::fmt::Debug> TraceSource for Record<S, W> {
 /// Each thread gets its own [`ThreadReader`] over an independent file
 /// handle, so the engine can interleave threads in any order with O(1)
 /// memory per stream.
+///
+/// An `.sbt` file is tenant-agnostic (tenancy is a composition-time
+/// concept), so every replayed stream reports [`TenantId::ZERO`]; to
+/// co-locate recorded traces as distinct tenants, stack them with
+/// [`crate::compose::Tenants`].
 #[derive(Debug)]
 pub struct TraceFileSource {
     path: PathBuf,

@@ -41,6 +41,7 @@ pub mod audit;
 pub mod config;
 pub mod error;
 pub mod stats;
+pub mod tenant;
 pub mod time;
 
 /// Convenient glob import of the most frequently used items.
@@ -58,6 +59,7 @@ pub mod prelude {
     };
     pub use crate::error::ConfigError;
     pub use crate::stats::{Counter, LatencyHistogram, RatioBreakdown};
+    pub use crate::tenant::{TenantId, TenantMap};
     pub use crate::time::{Freq, Nanos};
 }
 
@@ -74,4 +76,5 @@ pub use config::{
 };
 pub use error::ConfigError;
 pub use stats::{Counter, LatencyHistogram, RatioBreakdown};
+pub use tenant::{TenantId, TenantMap};
 pub use time::{Freq, Nanos};

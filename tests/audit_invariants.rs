@@ -27,6 +27,36 @@ fn every_variant_and_workload_conserves_at_tiny_scale() {
             report.assert_clean(&format!("{variant} on {workload:?}"));
             assert!(report.checked() >= 15, "audit must cover the invariant set");
             assert!(!result.truncated);
+            // The pipelined engine attributes every run, so the per-tenant
+            // and CXL-port invariants are exercised on every pair too.
+            assert_eq!(result.per_tenant.len(), 1);
+            assert!(report.checked() >= 25, "tenant + port invariants ran");
+        }
+    }
+}
+
+#[test]
+fn multi_tenant_colocation_conserves_for_every_variant() {
+    // A ycsb + tpcc co-location (the interference experiment's shape) must
+    // conserve across every design variant: the per-tenant sums close
+    // against the global counters and the port agrees with the access
+    // stream even under contention.
+    let scale = tiny();
+    for variant in VariantKind::ALL {
+        let sim = Simulation::build_multi(
+            variant,
+            &[(WorkloadKind::Ycsb, 4), (WorkloadKind::Tpcc, 4)],
+            &scale,
+        );
+        let (result, report) = sim.audit();
+        report.assert_clean(&format!("{variant} on ycsb+tpcc"));
+        assert!(!result.truncated);
+        assert_eq!(result.per_tenant.len(), 2);
+        assert_eq!(result.threads, 8);
+        assert_eq!(result.workload, "ycsb+tpcc");
+        for t in &result.per_tenant {
+            assert_eq!(t.threads, 4);
+            assert!(t.accesses() > 0, "{variant}: tenant {} starved", t.tenant);
         }
     }
 }
@@ -82,8 +112,18 @@ fn assert_fires_exactly(r: &SimResult, expected: &str, break_it: impl FnOnce(&mu
 fn corrupting_each_counter_fires_exactly_the_matching_invariant() {
     let r = base_result();
 
-    assert_fires_exactly(&r, "requests-conservation", |b| b.requests.ssd_write += 1);
-    assert_fires_exactly(&r, "amat-histogram-agreement", |b| b.amat.accesses += 1);
+    // The classified-request total now also feeds the per-tenant and
+    // link-level laws; shift those views in lock-step so only the
+    // requests-vs-squash conservation can fire.
+    assert_fires_exactly(&r, "requests-conservation", |b| {
+        b.requests.ssd_write += 1;
+        b.per_tenant[0].requests.ssd_write += 1;
+        b.layers.cxl.responses += 1;
+    });
+    assert_fires_exactly(&r, "amat-histogram-agreement", |b| {
+        b.amat.accesses += 1;
+        b.per_tenant[0].amat.accesses += 1;
+    });
     assert_fires_exactly(&r, "flash-busy-bounded", |b| {
         b.flash_busy_time = b.exec_time * (b.flash_channels as u64) + Nanos::new(1);
     });
@@ -120,8 +160,11 @@ fn corrupting_each_counter_fires_exactly_the_matching_invariant() {
     assert_fires_exactly(&r, "squash-context-switch-agreement", |b| {
         b.context_switches += 1;
     });
+    // Migration payloads cross the CXL link, so a shifted demotion counter
+    // must be mirrored on the link's response count to stay isolated.
     assert_fires_exactly(&r, "migration-agreement", |b| {
         b.layers.migration.demotions += 1;
+        b.layers.cxl.responses += 1;
     });
     assert_fires_exactly(&r, "migration-cadence", |b| {
         b.migration_runs = b.ssd_accesses; // far beyond one per window
@@ -130,6 +173,40 @@ fn corrupting_each_counter_fires_exactly_the_matching_invariant() {
         b.boundedness.idle += b.exec_time * (b.cores as u64);
     });
     assert_fires_exactly(&r, "compaction-count-agreement", |b| b.compactions += 1);
+    assert_fires_exactly(&r, "cxl-port-agreement", |b| b.layers.cxl.requests += 1);
+    assert_fires_exactly(&r, "cxl-port-agreement", |b| b.layers.cxl.responses += 1);
+}
+
+#[test]
+fn corrupting_tenant_counters_fires_exactly_the_matching_invariant() {
+    let r = base_result();
+    assert_eq!(r.per_tenant.len(), 1, "single-tenant run, one attribution");
+
+    assert_fires_exactly(&r, "tenant-thread-partition", |b| {
+        b.per_tenant[0].threads += 1;
+    });
+    assert_fires_exactly(&r, "tenant-request-conservation", |b| {
+        b.per_tenant[0].requests.ssd_write += 1;
+    });
+    assert_fires_exactly(&r, "tenant-amat-conservation", |b| {
+        b.per_tenant[0].amat.accesses += 1;
+    });
+    assert_fires_exactly(&r, "tenant-histogram-conservation", |b| {
+        b.per_tenant[0].latency_hist.record(Nanos::new(100));
+    });
+    // A leaked squash breaks both the sum against the global counter and
+    // the tenant's own squash == context-switch agreement — one invariant.
+    assert_fires_exactly(&r, "tenant-squash-conservation", |b| {
+        b.per_tenant[0].squashed_accesses += 1;
+        b.per_tenant[0].context_switches += 1;
+        b.per_tenant[0].ssd_accesses += 1;
+    });
+    assert_fires_exactly(&r, "tenant-instruction-conservation", |b| {
+        b.per_tenant[0].instructions += 1;
+    });
+    assert_fires_exactly(&r, "tenant-finish-bounded", |b| {
+        b.per_tenant[0].finish_time = b.exec_time + Nanos::new(1);
+    });
 }
 
 #[test]

@@ -521,6 +521,26 @@ pub mod __private {
         }
     }
 
+    /// Looks up `name` in a [`Value::Map`] and deserializes it, falling back
+    /// to `T::default()` when the field is absent — the behaviour of
+    /// upstream serde's `#[serde(default)]` field attribute. This is what
+    /// lets data pinned under an older schema (e.g. the golden-trace corpus)
+    /// keep deserializing after a struct grows a field.
+    pub fn field_or_default<T: Deserialize + Default>(
+        value: &Value,
+        name: &str,
+    ) -> Result<T, Error> {
+        match value {
+            Value::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => T::deserialize(v),
+                None => Ok(T::default()),
+            },
+            other => Err(Error::custom(format!(
+                "expected map with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
     /// Returns the elements of a [`Value::Seq`] of the exact expected length.
     pub fn tuple_elements(value: &Value, len: usize) -> Result<&[Value], Error> {
         match value {

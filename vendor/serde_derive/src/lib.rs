@@ -23,10 +23,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 }
 
 enum Body {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
     Enum(Vec<Variant>),
+}
+
+/// A named field plus its `#[serde(default)]` marker.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -36,7 +42,7 @@ struct Variant {
 
 enum VariantFields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -198,12 +204,17 @@ fn parse(input: TokenStream) -> Result<Input, String> {
 }
 
 fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    attr_serde_contains(stream, "transparent")
+}
+
+/// Whether an attribute token stream is `serde(...)` containing `word`.
+fn attr_serde_contains(stream: TokenStream, word: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
             .stream()
             .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == word)),
         _ => false,
     }
 }
@@ -256,13 +267,19 @@ fn generic_params(tokens: &[TokenTree]) -> Result<(String, Vec<String>), String>
     Ok((use_args.join(", "), type_params))
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Attributes.
+        // Attributes (`#[serde(default)]` is honoured, the rest skipped).
+        let mut default = false;
         while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if attr_serde_contains(g.stream(), "default") {
+                    default = true;
+                }
+            }
             i += 2;
         }
         if i >= tokens.len() {
@@ -304,7 +321,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             i += 1;
         }
         i += 1; // past the comma (or end)
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -418,11 +435,12 @@ fn impl_header(input: &Input, trait_path: &str) -> String {
 fn generate_serialize(input: &Input) -> String {
     let body = match &input.body {
         Body::Named(fields) if input.transparent && fields.len() == 1 => {
-            format!("serde::Serialize::serialize(&self.{})", fields[0])
+            format!("serde::Serialize::serialize(&self.{})", fields[0].name)
         }
         Body::Named(fields) => {
             let mut pushes = String::new();
             for f in fields {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "__fields.push((std::string::String::from({f:?}), \
                      serde::Serialize::serialize(&self.{f})));\n"
@@ -453,10 +471,15 @@ fn generate_serialize(input: &Input) -> String {
                             "Self::{name} => serde::Value::Str(std::string::String::from({name:?}))"
                         ),
                         VariantFields::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pushes: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(std::string::String::from({f:?}), \
                                      serde::Serialize::serialize({f}))"
@@ -500,20 +523,31 @@ fn generate_serialize(input: &Input) -> String {
     )
 }
 
+/// The struct-field initialiser of the generated `deserialize`:
+/// `#[serde(default)]` fields fall back to `Default::default()` when absent.
+fn named_field_init(f: &Field) -> String {
+    let helper = if f.default {
+        "field_or_default"
+    } else {
+        "field"
+    };
+    format!(
+        "{name}: serde::__private::{helper}(__value, {name:?})?",
+        name = f.name
+    )
+}
+
 fn generate_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.body {
         Body::Named(fields) if input.transparent && fields.len() == 1 => {
             format!(
                 "std::result::Result::Ok(Self {{ {f}: serde::Deserialize::deserialize(__value)? }})",
-                f = fields[0]
+                f = fields[0].name
             )
         }
         Body::Named(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: serde::__private::field(__value, {f:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(named_field_init).collect();
             format!("std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
         }
         Body::Tuple(1) => {
@@ -545,7 +579,17 @@ fn generate_deserialize(input: &Input) -> String {
                         VariantFields::Named(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| format!("{f}: serde::__private::field(__inner, {f:?})?"))
+                                .map(|f| {
+                                    let helper = if f.default {
+                                        "field_or_default"
+                                    } else {
+                                        "field"
+                                    };
+                                    format!(
+                                        "{f}: serde::__private::{helper}(__inner, {f:?})?",
+                                        f = f.name
+                                    )
+                                })
                                 .collect();
                             format!("Self::{vname} {{ {} }}", inits.join(", "))
                         }
