@@ -26,12 +26,13 @@
 use skybyte_bench::{figures_scale, harness_runner};
 use skybyte_sim::report::{figure_table_named, paper_table, render, DATA_FIGURES};
 use skybyte_sim::{ExperimentScale, TraceDrive};
+use skybyte_types::PolicyOverride;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
     /// Requested figures: paper figure numbers (`"14"`) or named
-    /// repository experiments (`"mt"`).
+    /// repository experiments (`"mt"`, `"policy"`).
     figures: Vec<String>,
     tables: Vec<u32>,
     scale: ExperimentScale,
@@ -40,6 +41,9 @@ struct Options {
     out: Option<PathBuf>,
     drive: TraceDrive,
     audit: bool,
+    /// Policy names applied to every simulation (`--policy <name>`,
+    /// repeatable), resolved through the unified registry.
+    policies: Vec<PolicyOverride>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -52,6 +56,7 @@ fn parse_args() -> Result<Options, String> {
         out: None,
         drive: TraceDrive::Synthetic,
         audit: false,
+        policies: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -60,12 +65,19 @@ fn parse_args() -> Result<Options, String> {
             "--all" => opts.all = true,
             "--fig" | "--figure" => {
                 i += 1;
-                let name = args.get(i).ok_or("--fig requires a number or 'mt'")?;
-                if name != "mt" {
+                let name = args
+                    .get(i)
+                    .ok_or("--fig requires a number, 'mt' or 'policy'")?;
+                if name != "mt" && name != "policy" {
                     name.parse::<u32>()
                         .map_err(|e| format!("invalid figure number: {e}"))?;
                 }
                 opts.figures.push(name.clone());
+            }
+            "--policy" => {
+                i += 1;
+                let name = args.get(i).ok_or("--policy requires a policy name")?;
+                opts.policies.push(name.parse::<PolicyOverride>()?);
             }
             "--table" => {
                 i += 1;
@@ -122,11 +134,16 @@ fn parse_args() -> Result<Options, String> {
             "--audit" => opts.audit = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--all] [--fig N|mt]... [--table N]... \
+                    "usage: figures [--all] [--fig N|mt|policy]... [--table N]... \
                      [--scale tiny|bench|default] [--jobs N] [--out DIR] \
-                     [--record-dir DIR | --replay-dir DIR] [--audit]\n\n\
+                     [--record-dir DIR | --replay-dir DIR] [--audit] [--policy NAME]...\n\n\
                      --fig mt           the multi-tenant interference experiment\n\
                      \u{20}                  (ycsb + tpcc co-located, per-tenant slowdown vs solo)\n\
+                     --fig policy       the pluggable-policy ablation (eviction x hotness,\n\
+                     \u{20}                  plus admission and tenant-scheduling contenders)\n\
+                     --policy NAME      apply a policy to every simulation (repeatable;\n\
+                     \u{20}                  e.g. clock, 2q, bypass-scan, decay, topk,\n\
+                     \u{20}                  fair-share, tpp, rr — unified name registry)\n\
                      --out DIR          also write each regenerated table as DIR/<id>.csv\n\
                      --record-dir DIR   tee every simulation's workload stream to .sbt traces\n\
                      --replay-dir DIR   drive the simulations from recorded .sbt traces\n\
@@ -203,8 +220,9 @@ fn main() -> ExitCode {
         let mut figs: Vec<String> = DATA_FIGURES.iter().map(|n| n.to_string()).collect();
         if opts.drive == TraceDrive::Synthetic {
             figs.push("mt".into());
+            figs.push("policy".into());
         } else {
-            eprintln!("[figures] note: skipping figure mt under --record-dir/--replay-dir");
+            eprintln!("[figures] note: skipping figures mt/policy under --record-dir/--replay-dir");
         }
         (figs, vec![1, 2, 3, 4])
     } else {
@@ -221,6 +239,7 @@ fn main() -> ExitCode {
     }
     let runner = harness_runner(opts.jobs)
         .with_drive(opts.drive.clone())
+        .with_policy_overrides(opts.policies.clone())
         .with_audit(opts.audit);
     // Harness panics (a missing trace under --replay-dir, an invalid figure
     // number) should read as CLI errors, not backtraces: silence the hook,

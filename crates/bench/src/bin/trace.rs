@@ -24,7 +24,7 @@ use skybyte_trace::{
     record_to_file, BoxedSource, Concat, LoopN, Mix, Shift, TraceFileSource, TraceHeader,
     TraceReader, TraceSource, TraceStats, TraceWriter,
 };
-use skybyte_types::{SimConfig, VariantKind};
+use skybyte_types::{PolicyOverride, SimConfig, VariantKind};
 use skybyte_workloads::{WorkloadKind, WorkloadSource};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -36,10 +36,13 @@ const USAGE: &str = "usage: trace <record|replay|stat|mix|verify-corpus> [option
       Write the synthetic .sbt trace the simulator would consume.
 
   replay --trace FILE [--variant NAME] [--workload NAME] [--scale ...]
+         [--policy NAME]...
       Run a full simulation driven by FILE and print its metrics. The
       trace defines footprint, thread count and the amount of work; the
       scale defines the device. The workload label defaults to the one
-      named in the trace's provenance header.
+      named in the trace's provenance header. --policy applies an
+      off-default policy (repeatable; e.g. clock, 2q, bypass-scan, decay,
+      topk, fair-share, tpp, rr — same name registry as `figures`).
 
   stat --trace FILE
       Stream the trace once and print footprint / write ratio / per-page
@@ -206,10 +209,12 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let mut variant = VariantKind::SkyByteFull;
     let mut workload: Option<WorkloadKind> = None;
     let mut scale = ExperimentScale::tiny();
+    let mut policies: Vec<PolicyOverride> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
+            "--policy" => policies.push(value(args, &mut i, "--policy")?.parse()?),
             "--variant" => {
                 let name = value(args, &mut i, "--variant")?;
                 variant =
@@ -240,7 +245,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     // The trace defines the footprint and thread count; the scale defines
     // the simulated device around it (shared with the golden corpus via
     // `replay_trace_file`, capacity guard included).
-    let result = skybyte_bench::replay_trace_file(&trace, &header, variant, workload, scale)?;
+    let result =
+        skybyte_bench::replay_trace_file(&trace, &header, variant, workload, scale, &policies)?;
     println!("replayed {} as {variant} ({workload})", trace.display());
     print_summary(&result);
     Ok(())

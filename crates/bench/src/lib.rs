@@ -24,7 +24,7 @@ pub mod corpus;
 use skybyte_sim::runner::default_parallelism;
 use skybyte_sim::{ExperimentScale, Runner, SimResult, Simulation};
 use skybyte_trace::TraceHeader;
-use skybyte_types::{SimConfig, VariantKind};
+use skybyte_types::{PolicyOverride, SimConfig, VariantKind};
 use skybyte_workloads::WorkloadKind;
 use std::path::Path;
 
@@ -62,8 +62,9 @@ pub fn variant_from_name(name: &str) -> Option<VariantKind> {
 
 /// Replays an `.sbt` trace file as one full simulation: the trace (via its
 /// `header`) defines the footprint, thread count and amount of work, `scale`
-/// defines the simulated device around it, and `workload` is the label the
-/// result carries.
+/// defines the simulated device around it, `policies` selects off-default
+/// policies (empty for the pinned defaults — what the golden corpus passes),
+/// and `workload` is the label the result carries.
 ///
 /// This is the single replay-configuration path shared by `trace replay` and
 /// the golden corpus ([`corpus`]), so the two can never drift apart. It
@@ -76,6 +77,7 @@ pub fn replay_trace_file(
     variant: VariantKind,
     workload: WorkloadKind,
     scale: ExperimentScale,
+    policies: &[PolicyOverride],
 ) -> Result<SimResult, String> {
     let scale = scale.with_footprint(header.footprint_bytes);
     if header.footprint_bytes.saturating_mul(2) > scale.flash_bytes() {
@@ -87,9 +89,12 @@ pub fn replay_trace_file(
             scale.flash_bytes()
         ));
     }
-    let cfg = scale
+    let mut cfg = scale
         .apply(SimConfig::default().with_variant(variant))
         .with_threads(header.threads);
+    for p in policies {
+        p.apply(&mut cfg);
+    }
     Simulation::with_config(cfg, workload, &scale)
         .run_trace_file(path)
         .map_err(|e| format!("replay failed: {e}"))

@@ -8,7 +8,11 @@
 //! stay clean unless explicitly updated in parallel with the log (W2 of
 //! Figure 11).
 
+use crate::policy::{
+    AdmissionPolicy, AdmissionPolicyImpl, EvictionPolicy, EvictionPolicyImpl, WayMeta,
+};
 use serde::{Deserialize, Serialize};
+use skybyte_types::policy::{AdmissionPolicyKind, EvictionPolicyKind};
 use skybyte_types::{CachelineIndex, Lpa, CACHELINES_PER_PAGE, PAGE_SIZE};
 
 /// A page evicted from the data cache.
@@ -51,6 +55,10 @@ pub struct DataCacheStats {
     pub dirty_cachelines_evicted: u64,
     /// Total accessed cachelines observed at eviction time (Figure 5 style).
     pub accessed_cachelines_evicted: u64,
+    /// New-page insertions rejected by the admission policy (always zero
+    /// under the default admit-all policy).
+    #[serde(default)]
+    pub admission_bypasses: u64,
 }
 
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -58,11 +66,13 @@ struct PageEntry {
     lpa: Lpa,
     dirty_bitmap: u64,
     accessed_bitmap: u64,
-    last_access: u64,
 }
 
-/// A set-associative, LRU, page-granular cache indexed by logical page
-/// address.
+/// A set-associative, page-granular cache indexed by logical page address.
+///
+/// Replacement and admission decisions are delegated to the policy seams of
+/// [`crate::policy`]; the defaults (pseudo-LRU, admit-all) reproduce the
+/// original hard-wired cache decision for decision.
 ///
 /// # Example
 ///
@@ -79,20 +89,44 @@ struct PageEntry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataCache {
     sets: Vec<Vec<PageEntry>>,
+    /// Per-way replacement metadata, kept in lockstep with `sets`.
+    meta: Vec<Vec<WayMeta>>,
     ways: usize,
     capacity_pages: usize,
     tick: u64,
+    eviction: EvictionPolicyImpl,
+    admission: AdmissionPolicyImpl,
     stats: DataCacheStats,
 }
 
 impl DataCache {
-    /// Creates a cache of `size_bytes` capacity with the given associativity.
+    /// Creates a cache of `size_bytes` capacity with the given associativity
+    /// and the default policies (pseudo-LRU eviction, admit-all admission).
     /// The number of sets is rounded down to at least one.
     ///
     /// # Panics
     ///
     /// Panics if the cache cannot hold at least one page or `ways == 0`.
     pub fn new(size_bytes: u64, ways: u32) -> Self {
+        Self::with_policies(
+            size_bytes,
+            ways,
+            EvictionPolicyKind::default(),
+            AdmissionPolicyKind::default(),
+        )
+    }
+
+    /// Creates a cache with explicit eviction and admission policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache cannot hold at least one page or `ways == 0`.
+    pub fn with_policies(
+        size_bytes: u64,
+        ways: u32,
+        eviction: EvictionPolicyKind,
+        admission: AdmissionPolicyKind,
+    ) -> Self {
         assert!(ways > 0, "associativity must be at least 1");
         let capacity_pages = (size_bytes / PAGE_SIZE as u64) as usize;
         assert!(
@@ -103,28 +137,42 @@ impl DataCache {
         let sets = (capacity_pages / ways).max(1);
         DataCache {
             sets: vec![Vec::with_capacity(ways); sets],
+            meta: vec![Vec::with_capacity(ways); sets],
             ways,
             capacity_pages: sets * ways,
             tick: 0,
+            eviction: EvictionPolicyImpl::new(eviction, sets, ways),
+            admission: AdmissionPolicyImpl::new(admission),
             stats: DataCacheStats::default(),
         }
+    }
+
+    /// The active eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicyKind {
+        self.eviction.kind()
+    }
+
+    /// The active admission policy.
+    pub fn admission_policy(&self) -> AdmissionPolicyKind {
+        self.admission.kind()
     }
 
     fn set_of(&self, lpa: Lpa) -> usize {
         (lpa.index() % self.sets.len() as u64) as usize
     }
 
-    /// Looks up a page, updating LRU state and recording the accessed
+    /// Looks up a page, updating replacement state and recording the accessed
     /// cacheline. Returns `true` on a hit.
     pub fn access(&mut self, lpa: Lpa, cl: CachelineIndex) -> bool {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(lpa);
-        let found = self.sets[set].iter_mut().find(|e| e.lpa == lpa);
+        let found = self.sets[set].iter().position(|e| e.lpa == lpa);
         match found {
-            Some(e) => {
-                e.last_access = tick;
-                e.accessed_bitmap |= 1u64 << (cl as usize % CACHELINES_PER_PAGE);
+            Some(way) => {
+                self.meta[set][way].last_access = tick;
+                self.eviction.on_hit(set, way, &mut self.meta[set]);
+                self.sets[set][way].accessed_bitmap |= 1u64 << (cl as usize % CACHELINES_PER_PAGE);
                 self.stats.hits += 1;
                 true
             }
@@ -135,35 +183,38 @@ impl DataCache {
         }
     }
 
-    /// Whether the page is cached (no LRU update, no statistics).
+    /// Whether the page is cached (no replacement update, no statistics).
     pub fn contains(&self, lpa: Lpa) -> bool {
         let set = self.set_of(lpa);
         self.sets[set].iter().any(|e| e.lpa == lpa)
     }
 
-    /// Inserts a page fetched from flash, evicting the LRU page of the set if
-    /// necessary. Returns the evicted page, if any.
+    /// Inserts a page fetched from flash, evicting the policy's victim if the
+    /// set is full. Returns the evicted page, if any.
     ///
-    /// Inserting an already-cached page refreshes its LRU position and
-    /// returns `None`.
+    /// Inserting an already-cached page refreshes its replacement position
+    /// and returns `None`. A page the admission policy rejects is not
+    /// inserted (and nothing is evicted); rejections are counted in
+    /// [`DataCacheStats::admission_bypasses`].
     pub fn insert(&mut self, lpa: Lpa) -> Option<EvictedPage> {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(lpa);
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.lpa == lpa) {
-            e.last_access = tick;
+        if let Some(way) = self.sets[set].iter().position(|e| e.lpa == lpa) {
+            self.meta[set][way].last_access = tick;
+            self.eviction.on_hit(set, way, &mut self.meta[set]);
+            return None;
+        }
+        if !self.admission.admit(lpa) {
+            self.stats.admission_bypasses += 1;
             return None;
         }
         self.stats.insertions += 1;
         let mut evicted = None;
         if self.sets[set].len() >= self.ways {
-            let victim_idx = self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_access)
-                .map(|(i, _)| i)
-                .expect("set not empty");
+            let victim_idx = self.eviction.victim(set, &mut self.meta[set]);
             let victim = self.sets[set].swap_remove(victim_idx);
+            self.meta[set].swap_remove(victim_idx);
             self.stats.evictions += 1;
             self.stats.accessed_cachelines_evicted += victim.accessed_bitmap.count_ones() as u64;
             if victim.dirty_bitmap != 0 {
@@ -179,8 +230,10 @@ impl DataCache {
             lpa,
             dirty_bitmap: 0,
             accessed_bitmap: 0,
-            last_access: tick,
         });
+        self.meta[set].push(WayMeta::inserted(tick));
+        let way = self.sets[set].len() - 1;
+        self.eviction.on_insert(set, way, &mut self.meta[set]);
         evicted
     }
 
@@ -225,6 +278,7 @@ impl DataCache {
         let set = self.set_of(lpa);
         let idx = self.sets[set].iter().position(|e| e.lpa == lpa)?;
         let e = self.sets[set].swap_remove(idx);
+        self.meta[set].swap_remove(idx);
         Some(EvictedPage {
             lpa: e.lpa,
             dirty_bitmap: e.dirty_bitmap,
@@ -361,6 +415,85 @@ mod tests {
     #[should_panic(expected = "associativity")]
     fn rejects_zero_ways() {
         let _ = DataCache::new(4096, 0);
+    }
+
+    #[test]
+    fn default_policies_are_pseudo_lru_admit_all() {
+        let c = DataCache::new(4 * 4096, 4);
+        assert_eq!(c.eviction_policy(), EvictionPolicyKind::PseudoLru);
+        assert_eq!(c.admission_policy(), AdmissionPolicyKind::AdmitAll);
+    }
+
+    #[test]
+    fn clock_policy_spares_referenced_pages() {
+        // 1 set, 2 ways, CLOCK.
+        let mut c = DataCache::with_policies(
+            2 * 4096,
+            2,
+            EvictionPolicyKind::Clock,
+            AdmissionPolicyKind::AdmitAll,
+        );
+        c.insert(Lpa::new(1));
+        c.insert(Lpa::new(2));
+        c.access(Lpa::new(1), 0); // sets page 1's reference bit
+        let e = c.insert(Lpa::new(3)).expect("eviction");
+        assert_eq!(e.lpa, Lpa::new(2));
+        assert!(c.contains(Lpa::new(1)));
+    }
+
+    #[test]
+    fn two_q_policy_evicts_probationary_pages_first() {
+        // 1 set, 4 ways, 2Q: page 1 is re-referenced (protected), the scan
+        // pages 2..4 churn through the probationary segment.
+        let mut c = DataCache::with_policies(
+            4 * 4096,
+            4,
+            EvictionPolicyKind::TwoQ,
+            AdmissionPolicyKind::AdmitAll,
+        );
+        for i in 1..=4u64 {
+            c.insert(Lpa::new(i));
+        }
+        c.access(Lpa::new(1), 0); // promote to protected
+        let e = c.insert(Lpa::new(5)).expect("eviction");
+        assert_eq!(e.lpa, Lpa::new(2), "oldest probationary page goes first");
+        assert!(c.contains(Lpa::new(1)));
+    }
+
+    #[test]
+    fn fifo_policy_evicts_in_insertion_order() {
+        let mut c = DataCache::with_policies(
+            2 * 4096,
+            2,
+            EvictionPolicyKind::Fifo,
+            AdmissionPolicyKind::AdmitAll,
+        );
+        c.insert(Lpa::new(1));
+        c.insert(Lpa::new(2));
+        c.access(Lpa::new(1), 0); // recency must not matter
+        let e = c.insert(Lpa::new(3)).expect("eviction");
+        assert_eq!(e.lpa, Lpa::new(1));
+    }
+
+    #[test]
+    fn bypass_scan_admission_rejects_long_sequential_runs() {
+        let mut c = DataCache::with_policies(
+            64 * 4096,
+            4,
+            EvictionPolicyKind::PseudoLru,
+            AdmissionPolicyKind::BypassScan,
+        );
+        for i in 0..32u64 {
+            c.insert(Lpa::new(i));
+        }
+        assert!(c.stats().admission_bypasses > 0);
+        assert!(
+            c.len() < 32,
+            "a long scan must not fully populate the cache"
+        );
+        // A non-sequential page is admitted again.
+        c.insert(Lpa::new(1000));
+        assert!(c.contains(Lpa::new(1000)));
     }
 
     proptest! {

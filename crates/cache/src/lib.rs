@@ -12,7 +12,8 @@
 //!   any cacheline and enumerates all logged cachelines of a page during
 //!   compaction;
 //! * a **page-granular read-write data cache** ([`DataCache`]) — pages fetched
-//!   from flash on read misses, managed with set-associative LRU;
+//!   from flash on read misses, set-associative with pluggable eviction and
+//!   admission policies ([`policy`], default pseudo-LRU / admit-all);
 //! * **log compaction** ([`CompactionPlan`]) — when a log fills up it is
 //!   frozen, writes continue in the other buffer, and the frozen log is
 //!   coalesced page-by-page and flushed to flash in the background;
@@ -45,9 +46,11 @@
 mod data_cache;
 mod log_index;
 mod mshr;
+pub mod policy;
 mod write_log;
 
 pub use data_cache::{DataCache, DataCacheStats, EvictedPage};
 pub use log_index::{LogIndex, LogIndexStats};
 pub use mshr::{MshrFile, MshrOutcome};
+pub use policy::{AdmissionPolicy, EvictionPolicy};
 pub use write_log::{AppendOutcome, CompactionPlan, PageFlush, WriteLog, WriteLogStats};

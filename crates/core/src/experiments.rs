@@ -25,7 +25,10 @@ use crate::metrics::geometric_mean;
 use crate::runner::{RunRequest, Runner};
 use crate::scale::ExperimentScale;
 use serde::{Deserialize, Serialize};
-use skybyte_types::{NandKind, Nanos, SchedPolicy, SimConfig, VariantKind, KIB, MIB};
+use skybyte_types::{
+    AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind, NandKind, Nanos, PolicyConfig,
+    SchedPolicy, SimConfig, TenantSchedKind, VariantKind, KIB, MIB,
+};
 use skybyte_workloads::{page_locality_cdf, TraceGenerator, WorkloadKind};
 
 /// A generic result table: one labelled row per entity (workload, variant,
@@ -873,6 +876,106 @@ pub fn fig_mt_interference(runner: &Runner, scale: &ExperimentScale) -> Experime
                 );
             }
         }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Policy ablation (the pluggable-policy zoo)
+// ---------------------------------------------------------------------------
+
+/// The single-tenant workload columns of the policy ablation.
+const POLICY_WORKLOADS: [WorkloadKind; 2] = [WorkloadKind::Ycsb, WorkloadKind::Tpcc];
+
+/// The tenant mix of the ablation's `mt` column (the balanced ycsb + tpcc
+/// scenario of [`mt_scenarios`]).
+const POLICY_MT_TENANTS: [(WorkloadKind, u32); 2] =
+    [(WorkloadKind::Ycsb, 4), (WorkloadKind::Tpcc, 4)];
+
+/// A single-tenant SkyByte-Full request running under `policy`.
+fn policy_request(
+    policy: PolicyConfig,
+    workload: WorkloadKind,
+    scale: &ExperimentScale,
+) -> RunRequest {
+    let mut cfg = scale.apply(SimConfig::default().with_variant(VariantKind::SkyByteFull));
+    cfg.policy = policy;
+    RunRequest::with_config(cfg, workload, scale)
+}
+
+/// The co-located ycsb + tpcc request running under `policy`.
+fn policy_mt_request(policy: PolicyConfig, scale: &ExperimentScale) -> RunRequest {
+    let mut sim = Simulation::build_multi(VariantKind::SkyByteFull, &POLICY_MT_TENANTS, scale);
+    sim.config_mut().policy = policy;
+    RunRequest::from_simulation(sim)
+}
+
+/// Every row of the policy ablation: the full eviction × hotness cross
+/// product (default admission/scheduling), plus one row per off-default
+/// admission and tenant-scheduling contender. Public so CLIs and tests can
+/// enumerate what `figures --fig policy` sweeps.
+pub fn policy_ablation_rows() -> Vec<(String, PolicyConfig)> {
+    let mut rows = Vec::new();
+    for &eviction in &EvictionPolicyKind::ALL {
+        for &hotness in &HotnessPolicyKind::ALL {
+            rows.push((
+                format!("{eviction}/{hotness}"),
+                PolicyConfig {
+                    eviction,
+                    hotness,
+                    ..PolicyConfig::default()
+                },
+            ));
+        }
+    }
+    rows.push((
+        "bypass-scan".to_string(),
+        PolicyConfig {
+            admission: AdmissionPolicyKind::BypassScan,
+            ..PolicyConfig::default()
+        },
+    ));
+    rows.push((
+        "fair-share".to_string(),
+        PolicyConfig {
+            tenant_sched: TenantSchedKind::FairShare,
+            ..PolicyConfig::default()
+        },
+    ));
+    rows
+}
+
+/// Figure "policy" (beyond the paper): the pluggable-policy ablation.
+///
+/// Sweeps the data-cache eviction × hot-page tracking cross product (plus a
+/// bypass-scan admission row and a fair-share tenant-scheduling row) over
+/// SkyByte-Full on ycsb, tpcc and the balanced ycsb + tpcc co-location, and
+/// reports execution time normalised per column to the default policy combo
+/// (`pseudo-lru/threshold` — whose row is therefore all ones). Values above
+/// one mean the contender lost time against the shipped policies.
+pub fn fig_policy_ablation(runner: &Runner, scale: &ExperimentScale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "figure-policy",
+        "Policy ablation: execution time normalised to the default policies (SkyByte-Full)",
+        &["ycsb", "tpcc", "mt"],
+    );
+    let rows = policy_ablation_rows();
+    let mut runs = Vec::new();
+    for (_, policy) in &rows {
+        for &workload in &POLICY_WORKLOADS {
+            runs.push(policy_request(*policy, workload, scale));
+        }
+        runs.push(policy_mt_request(*policy, scale));
+    }
+    let results = runner.run_all(&runs);
+    // Row 0 is the default combo: the per-column baseline.
+    let per_row = POLICY_WORKLOADS.len() + 1;
+    debug_assert!(rows[0].1.is_default());
+    for (i, (label, _)) in rows.iter().enumerate() {
+        let values = (0..per_row)
+            .map(|j| results[i * per_row + j].normalized_exec_time(&results[j]))
+            .collect();
+        t.push(label.clone(), values);
     }
     t
 }

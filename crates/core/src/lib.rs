@@ -45,13 +45,18 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod system;
+pub mod tenant_sched;
 pub mod thread_exec;
 
 pub use engine::{Simulation, TraceDrive};
 pub use metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
-pub use migration::MigrationEngine;
+pub use migration::{
+    AdaptiveTrigger, AstriFlashTrigger, DisabledTrigger, MigrationEngine, MigrationTrigger,
+    TppTrigger,
+};
 pub use report::{figure_table, figure_table_named, paper_table, render_figure, render_table};
 pub use runner::{RunRequest, Runner};
 pub use scale::ExperimentScale;
 pub use system::SystemState;
+pub use tenant_sched::{FairShareScheduler, PassthroughScheduler, TenantScheduler};
 pub use thread_exec::ThreadExecutor;

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use skybyte_cpu::Boundedness;
 use skybyte_cxl::CxlPortStats;
 use skybyte_ssd::{FlashStats, FtlStats, SsdStats, WriteLogStats};
-use skybyte_types::{LatencyHistogram, Nanos, RatioBreakdown, TenantId, VariantKind};
+use skybyte_types::{LatencyHistogram, Nanos, PolicyConfig, RatioBreakdown, TenantId, VariantKind};
 
 /// Average-memory-access-time accounting in the five components of
 /// Figure 17: host DRAM, CXL protocol, SSD index lookup, SSD DRAM and flash.
@@ -198,6 +198,14 @@ pub struct LayerCounters {
 pub struct SimResult {
     /// The design variant simulated.
     pub variant: VariantKind,
+    /// The policy selection the run executed under (eviction, admission,
+    /// hotness, tenant scheduling) — surfaced so an ablation row is
+    /// self-describing and the audit can hold per policy.
+    ///
+    /// `#[serde(default)]` so golden results pinned before the policy seam
+    /// deserialize to the default block (which is what they ran under).
+    #[serde(default)]
+    pub policy: PolicyConfig,
     /// Workload name (Table I).
     pub workload: String,
     /// Number of application threads.
@@ -346,6 +354,7 @@ impl SimResult {
             };
         }
         cmp!("variant", self.variant, golden.variant);
+        cmp!("policy", self.policy, golden.policy);
         cmp!("workload", &self.workload, &golden.workload);
         cmp!("threads", self.threads, golden.threads);
         cmp!("cores", self.cores, golden.cores);
@@ -535,7 +544,14 @@ impl SimResult {
                 }
             }
         }
-        cmp!("layers.ssd", self.layers.ssd, golden.layers.ssd);
+        // A golden pinned before the hotness tracker exposed its page gauge
+        // carries `tracked_pages: None`; the gauge is additive (no physics
+        // behind it), so it is normalised away rather than forcing a re-pin.
+        let mut ssd_mine = self.layers.ssd;
+        if golden.layers.ssd.tracked_pages.is_none() {
+            ssd_mine.tracked_pages = None;
+        }
+        cmp!("layers.ssd", ssd_mine, golden.layers.ssd);
         cmp!("layers.flash", self.layers.flash, golden.layers.flash);
         cmp!("layers.ftl", self.layers.ftl, golden.layers.ftl);
         cmp!(
@@ -558,15 +574,15 @@ impl SimResult {
         // corpus as an empty diff. Legacy goldens are normalised first so
         // the deliberately skipped fields do not trip the guard.
         if out.is_empty() {
-            let differs = if legacy_golden {
-                let mut normalised = self.clone();
+            let mut normalised = self.clone();
+            if legacy_golden {
                 normalised.per_tenant.clear();
                 normalised.layers.cxl = golden.layers.cxl;
-                normalised != *golden
-            } else {
-                self != golden
-            };
-            if differs {
+            }
+            if golden.layers.ssd.tracked_pages.is_none() {
+                normalised.layers.ssd.tracked_pages = None;
+            }
+            if normalised != *golden {
                 out.push(
                     "results differ in a field diff_fields does not enumerate — \
                      update SimResult::diff_fields"
@@ -603,6 +619,7 @@ mod tests {
     fn dummy(exec_ns: u64) -> SimResult {
         SimResult {
             variant: VariantKind::BaseCssd,
+            policy: PolicyConfig::default(),
             workload: "bc".to_string(),
             threads: 8,
             cores: 8,

@@ -75,7 +75,8 @@ pub fn figure_table(runner: &Runner, figure: u32, scale: &ExperimentScale) -> Ex
 
 /// Regenerates a figure by the harness's name for it: a paper figure number
 /// (`"14"`) or one of the repository's own experiments (`"mt"`, the
-/// multi-tenant interference study). This is what `figures --fig` resolves.
+/// multi-tenant interference study, or `"policy"`, the pluggable-policy
+/// ablation). This is what `figures --fig` resolves.
 pub fn figure_table_named(
     runner: &Runner,
     name: &str,
@@ -84,9 +85,12 @@ pub fn figure_table_named(
     if name == "mt" {
         return Ok(experiments::fig_mt_interference(runner, scale));
     }
+    if name == "policy" {
+        return Ok(experiments::fig_policy_ablation(runner, scale));
+    }
     let number: u32 = name
         .parse()
-        .map_err(|_| format!("unknown figure '{name}' (paper figure number or 'mt')"))?;
+        .map_err(|_| format!("unknown figure '{name}' (paper figure number, 'mt' or 'policy')"))?;
     if !DATA_FIGURES.contains(&number) {
         return Err(format!(
             "figure {number} has no data series (architecture diagram)"

@@ -17,7 +17,7 @@
 use crate::engine::{Simulation, TraceDrive};
 use crate::metrics::SimResult;
 use crate::scale::ExperimentScale;
-use skybyte_types::{SimConfig, VariantKind};
+use skybyte_types::{PolicyOverride, SimConfig, VariantKind};
 use skybyte_workloads::WorkloadKind;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -107,6 +107,11 @@ pub struct Runner {
     /// request's fingerprint, so memoization stays sound when one process
     /// mixes drives.
     drive: TraceDrive,
+    /// Policy overrides applied to every request this runner executes (the
+    /// `figures --policy <name>` hook). Like the drive, the overrides land
+    /// in each decorated request's configuration and therefore in its
+    /// fingerprint, keeping memoization sound.
+    policies: Vec<PolicyOverride>,
     /// When set, every executed run is checked against the cross-layer
     /// conservation audit ([`crate::audit`]) and violations are collected
     /// for [`Runner::audit_failures`] (the `figures --audit` hook).
@@ -134,6 +139,7 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             drive: TraceDrive::Synthetic,
+            policies: Vec::new(),
             audit: false,
             state: Mutex::new(MemoState::default()),
             finished: Condvar::new(),
@@ -153,6 +159,19 @@ impl Runner {
     /// The trace drive applied to this runner's requests.
     pub fn drive(&self) -> &TraceDrive {
         &self.drive
+    }
+
+    /// Returns this runner with `policies` applied (in order) to the
+    /// configuration of every request it executes — the `figures --policy`
+    /// hook. An empty list leaves requests untouched.
+    pub fn with_policy_overrides(mut self, policies: Vec<PolicyOverride>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// The policy overrides applied to this runner's requests.
+    pub fn policy_overrides(&self) -> &[PolicyOverride] {
+        &self.policies
     }
 
     /// Returns this runner with the conservation audit enabled (or not):
@@ -230,6 +249,25 @@ impl Runner {
     /// claimed, so the runner must be discarded afterwards — a concurrent
     /// caller waiting on that fingerprint would block forever.
     pub fn run_all(&self, reqs: &[RunRequest]) -> Vec<Arc<SimResult>> {
+        // Decorate requests with this runner's policy overrides; the
+        // overrides mutate each request's configuration and therefore its
+        // fingerprint, keeping the memo table sound.
+        let with_policies: Vec<RunRequest>;
+        let reqs: &[RunRequest] = if self.policies.is_empty() {
+            reqs
+        } else {
+            with_policies = reqs
+                .iter()
+                .map(|r| {
+                    let mut sim = r.simulation().clone();
+                    for p in &self.policies {
+                        p.apply(sim.config_mut());
+                    }
+                    RunRequest::from_simulation(sim)
+                })
+                .collect();
+            &with_policies
+        };
         // Decorate requests with this runner's trace drive; the drive is in
         // the decorated fingerprints, keeping the memo table sound.
         let decorated: Vec<RunRequest>;
@@ -463,6 +501,30 @@ mod tests {
         assert_eq!(recorder.runs_executed(), 1);
         assert_eq!(replayer.runs_executed(), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn policy_overrides_decorate_requests_and_partition_the_memo_table() {
+        use skybyte_types::EvictionPolicyKind;
+        let scale = tiny();
+        let req = RunRequest::build(VariantKind::BaseCssd, WorkloadKind::Ycsb, &scale);
+        let plain = Runner::new(1);
+        let clocked = Runner::new(1)
+            .with_policy_overrides(vec![PolicyOverride::Eviction(EvictionPolicyKind::Clock)]);
+        assert_eq!(clocked.policy_overrides().len(), 1);
+        let a = plain.run(&req);
+        let b = clocked.run(&req);
+        // The override lands in the executed configuration and the result.
+        assert_eq!(a.policy.eviction, EvictionPolicyKind::PseudoLru);
+        assert_eq!(b.policy.eviction, EvictionPolicyKind::Clock);
+        // Decoration changes the fingerprint, so a shared runner would keep
+        // the two runs distinct in its memo table.
+        let decorated = {
+            let mut sim = req.simulation().clone();
+            PolicyOverride::Eviction(EvictionPolicyKind::Clock).apply(sim.config_mut());
+            RunRequest::from_simulation(sim)
+        };
+        assert_ne!(req.fingerprint(), decorated.fingerprint());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! — and a pipeline of composable steps executed once per work unit:
 //!
 //! 1. [`schedule`](SystemState::schedule) — pick the lagging core, ensure a
-//!    thread runs on it (or advance through idle time),
+//!    thread runs on it (or advance through idle time); which runnable
+//!    thread an empty core picks is the pluggable
+//!    [`TenantScheduler`](crate::tenant_sched::TenantScheduler) seam,
 //! 2. [`translate`](SystemState::translate) — compute burst, TLB walk and
 //!    page-table lookup,
 //! 3. [`host_access`](SystemState::host_access) /
@@ -29,6 +31,7 @@
 
 use crate::metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
 use crate::migration::{MigrationContext, MigrationEngine};
+use crate::tenant_sched::{tenant_scheduler, TenantScheduler, TenantView};
 use crate::thread_exec::ThreadExecutor;
 use skybyte_cpu::{Boundedness, CoreTimingModel, HostDram};
 use skybyte_cxl::CxlPort;
@@ -61,6 +64,7 @@ pub struct SystemState {
     port: CxlPort,
     host_dram: HostDram,
     sched: Scheduler,
+    tenant_sched: Box<dyn TenantScheduler>,
     page_table: PageTable,
     tlb: Tlb,
     migration: MigrationEngine,
@@ -157,6 +161,7 @@ impl SystemState {
             port,
             host_dram,
             sched,
+            tenant_sched: tenant_scheduler(cfg.policy.tenant_sched),
             page_table,
             tlb,
             migration,
@@ -226,9 +231,16 @@ impl SystemState {
     /// at least 100 ns per pass (and to the earliest blocked wake-up when
     /// one exists), with the idle time accounted in [`Boundedness::idle`].
     fn schedule(&mut self, core: usize, now: Nanos) -> Scheduled {
+        let view = TenantView {
+            map: &self.tenant_map,
+            counters: &self.per_tenant,
+        };
         match self.sched.running_on(core as u32) {
             Some(t) => Scheduled::Run(t),
-            None => match self.sched.schedule_on(core as u32, now) {
+            None => match self
+                .tenant_sched
+                .schedule_on(&mut self.sched, core as u32, now, &view)
+            {
                 Some(t) => Scheduled::Run(t),
                 None => {
                     // Nothing runnable: idle until the next wake-up.
@@ -477,6 +489,7 @@ impl SystemState {
 
         SimResult {
             variant: self.cfg.variant,
+            policy: self.cfg.policy,
             workload: workload_label.to_string(),
             threads: self.cfg.threads,
             cores: self.cfg.cpu.cores,

@@ -131,7 +131,29 @@ impl Scheduler {
     /// thread is runnable.
     pub fn schedule_on(&mut self, core: u32, now: Nanos) -> Option<ThreadId> {
         self.unblock_expired(now);
-        let candidate = self.pick_next();
+        let candidate = self.pick_next(&mut |_| true);
+        self.commit_pick(core, candidate)
+    }
+
+    /// Like [`Scheduler::schedule_on`], but restricts the pick to runnable
+    /// threads for which `allow` returns `true`, falling back to any
+    /// runnable thread when no allowed one exists (work conserving). Used by
+    /// tenant-aware scheduling hooks that bias cores toward particular
+    /// tenants without ever idling a core that has work.
+    pub fn schedule_on_filtered(
+        &mut self,
+        core: u32,
+        now: Nanos,
+        allow: &mut dyn FnMut(ThreadId) -> bool,
+    ) -> Option<ThreadId> {
+        self.unblock_expired(now);
+        let candidate = self
+            .pick_next(allow)
+            .or_else(|| self.pick_next(&mut |_| true));
+        self.commit_pick(core, candidate)
+    }
+
+    fn commit_pick(&mut self, core: u32, candidate: Option<ThreadId>) -> Option<ThreadId> {
         match candidate {
             Some(id) => {
                 self.threads[id.0 as usize].state = ThreadState::Running { core };
@@ -196,12 +218,12 @@ impl Scheduler {
         &self.stats
     }
 
-    fn pick_next(&mut self) -> Option<ThreadId> {
+    fn pick_next(&mut self, allow: &mut dyn FnMut(ThreadId) -> bool) -> Option<ThreadId> {
         let runnable: Vec<usize> = self
             .threads
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.is_runnable())
+            .filter(|(_, t)| t.is_runnable() && allow(t.id))
             .map(|(i, _)| i)
             .collect();
         if runnable.is_empty() {
@@ -326,6 +348,32 @@ mod tests {
         assert!(s
             .yield_current(3, Nanos::ZERO, Nanos::ZERO, BlockReason::Other)
             .is_none());
+    }
+
+    #[test]
+    fn filtered_schedule_prefers_allowed_threads_but_is_work_conserving() {
+        let mut s = sched(SchedPolicy::Cfs);
+        let a = s.spawn();
+        let b = s.spawn();
+        // CFS would pick `a` (equal vruntime, lowest id); the filter steers
+        // the pick to `b`.
+        let picked = s
+            .schedule_on_filtered(0, Nanos::ZERO, &mut |id| id == b)
+            .unwrap();
+        assert_eq!(picked, b);
+        // With no allowed thread runnable, the pick falls back to any
+        // runnable thread rather than idling the core.
+        let fallback = s
+            .schedule_on_filtered(1, Nanos::ZERO, &mut |id| id == b)
+            .unwrap();
+        assert_eq!(fallback, a);
+        // A filtered pick is not a context switch.
+        assert_eq!(s.stats().context_switches, 0);
+        // Nothing runnable at all still counts an idle pick.
+        assert!(s
+            .schedule_on_filtered(2, Nanos::ZERO, &mut |_| true)
+            .is_none());
+        assert_eq!(s.stats().idle_picks, 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The CXL-SSD controller: request handling, compaction, GC coordination and
 //! promotion support.
 
-use crate::hotness::HotPageTracker;
+use crate::hotness::{HotnessPolicy, HotnessTracker};
 use crate::stats::{AccessBreakdown, ServedBy, SsdStats};
 use crate::trigger::ThresholdPolicy;
 use skybyte_cache::{DataCache, DataCacheStats, WriteLog, WriteLogStats};
@@ -43,7 +43,7 @@ pub struct SsdController {
     ftl: Ftl,
     write_log: Option<WriteLog>,
     data_cache: DataCache,
-    hotness: HotPageTracker,
+    hotness: HotnessTracker,
     trigger: ThresholdPolicy,
 
     device_triggered_ctx_swt: bool,
@@ -97,8 +97,13 @@ impl SsdController {
             flash: FlashArray::new(ssd.geometry, ssd.flash),
             ftl: Ftl::new(ssd),
             write_log,
-            data_cache: DataCache::new(cache_bytes, ssd.dram.data_cache_ways),
-            hotness: HotPageTracker::new(cfg.migration.hotness_threshold),
+            data_cache: DataCache::with_policies(
+                cache_bytes,
+                ssd.dram.data_cache_ways,
+                cfg.policy.eviction,
+                cfg.policy.admission,
+            ),
+            hotness: HotnessTracker::new(cfg.policy.hotness, cfg.migration.hotness_threshold),
             trigger: ThresholdPolicy::new(cfg.cs_threshold),
             device_triggered_ctx_swt: cfg.device_triggered_ctx_swt,
             prefetch_enable: true,
@@ -125,6 +130,7 @@ impl SsdController {
     pub fn handle_read(&mut self, lpa: Lpa, cl: CachelineIndex, now: Nanos) -> SsdAccessOutcome {
         self.stats.reads += 1;
         self.hotness.record_access(lpa);
+        self.note_tracked_pages();
         self.lazy_tick(now);
 
         let index_latency = self.read_index_latency();
@@ -215,6 +221,7 @@ impl SsdController {
     pub fn handle_write(&mut self, lpa: Lpa, cl: CachelineIndex, now: Nanos) -> SsdAccessOutcome {
         self.stats.writes += 1;
         self.hotness.record_access(lpa);
+        self.note_tracked_pages();
         self.lazy_tick(now);
 
         if self.write_log.is_some() {
@@ -293,7 +300,11 @@ impl SsdController {
         if !self.ftl.is_mapped(lpa) {
             // First touch of the page: materialise it in the cache.
             self.insert_page_into_cache(lpa, t_indexed);
-            self.data_cache.mark_dirty(lpa, cl);
+            if !self.data_cache.mark_dirty(lpa, cl) {
+                // The admission policy bypassed the page; the write cannot
+                // be buffered, so it goes straight to flash.
+                self.write_through(lpa, t_indexed);
+            }
             return SsdAccessOutcome {
                 ready_at: t_indexed + self.dram_latency,
                 served_by: ServedBy::ZeroFill,
@@ -313,7 +324,9 @@ impl SsdController {
             .should_context_switch(lpa, now, &self.ftl, &self.flash);
         let flash_ready = self.fetch_page(lpa, t_indexed);
         self.insert_page_into_cache(lpa, flash_ready);
-        self.data_cache.mark_dirty(lpa, cl);
+        if !self.data_cache.mark_dirty(lpa, cl) {
+            self.write_through(lpa, flash_ready);
+        }
 
         let delay_hint = self.device_triggered_ctx_swt && decision.trigger;
         if delay_hint {
@@ -341,6 +354,7 @@ impl SsdController {
             log.invalidate_page(lpa);
         }
         self.hotness.mark_promoted(lpa);
+        self.note_tracked_pages();
         self.stats.pages_promoted += 1;
     }
 
@@ -349,6 +363,7 @@ impl SsdController {
     /// Returns the completion time of the flash program.
     pub fn demote_page(&mut self, lpa: Lpa, now: Nanos) -> Nanos {
         self.hotness.mark_demoted(lpa);
+        self.note_tracked_pages();
         let outcome = self.ftl.write_page(lpa, now, &mut self.flash);
         self.insert_page_into_cache(lpa, now);
         outcome.completes_at
@@ -358,7 +373,15 @@ impl SsdController {
     /// any (adaptive policy of §III-C).
     pub fn promotion_candidate(&mut self) -> Option<Lpa> {
         let cache = &self.data_cache;
-        self.hotness.take_candidate(|lpa| cache.contains(lpa))
+        let got = self.hotness.take_candidate(&mut |lpa| cache.contains(lpa));
+        self.note_tracked_pages();
+        got
+    }
+
+    /// Refreshes the tracker-memory gauge surfaced in
+    /// [`SsdStats::tracked_pages`].
+    fn note_tracked_pages(&mut self) {
+        self.stats.tracked_pages = Some(self.hotness.tracked_pages());
     }
 
     /// Per-page access count observed by the controller.
@@ -545,6 +568,14 @@ impl SsdController {
         }
         // State-wise merge of logged cachelines into the cached page: the log
         // remains authoritative, so nothing further to track here.
+    }
+
+    /// Writes a whole page through to flash because the data cache's
+    /// admission policy bypassed it and the dirty cacheline has nowhere else
+    /// to live. Never taken under the default admit-all policy.
+    fn write_through(&mut self, lpa: Lpa, at: Nanos) {
+        self.stats.write_throughs += 1;
+        self.ftl.write_page(lpa, at, &mut self.flash);
     }
 
     /// Simple next-page prefetcher (one of the Base-CSSD optimisations the

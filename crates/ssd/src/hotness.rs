@@ -1,22 +1,96 @@
 //! Per-page access tracking for adaptive page migration (§III-C).
 //!
-//! The SSD controller counts accesses to each logical page. Pages whose count
-//! exceeds a threshold become promotion candidates; SkyByte only promotes
-//! pages that are resident in the SSD DRAM data cache (the candidate hot
-//! pages are there by construction).
+//! The SSD controller counts accesses to each logical page and nominates
+//! promotion candidates; SkyByte only promotes pages that are resident in
+//! the SSD DRAM data cache (the candidate hot pages are there by
+//! construction). *How* hotness is measured is a pluggable policy:
+//!
+//! * [`HotPageTracker`] — the paper's design and the default: exact per-page
+//!   counters with a fixed nomination threshold. Exactness costs memory —
+//!   one counter per distinct page ever touched (the [`tracked_pages`]
+//!   gauge in `SsdStats` makes that growth observable). Zero-count entries
+//!   are compacted away rather than stored.
+//! * [`DecayTracker`] — exponentially decayed frequency: counters are halved
+//!   every [`DECAY_PERIOD_ACCESSES`] recorded accesses and entries that
+//!   decay to zero are dropped, bounding memory on long traces while still
+//!   favouring sustained hotness over one-shot bursts.
+//! * [`TopKTracker`] — windowed top-k: pages are counted inside a fixed
+//!   window of [`TOPK_WINDOW_ACCESSES`] accesses and only the
+//!   [`TOPK_CANDIDATES`] hottest re-referenced pages of each window are
+//!   nominated; counts reset between windows, so memory is bounded by the
+//!   window size.
+//!
+//! All three implement [`HotnessPolicy`]; the controller stores the
+//! serializable [`HotnessTracker`] dispatch enum, built from
+//! [`HotnessPolicyKind`].
+//!
+//! [`tracked_pages`]: HotnessPolicy::tracked_pages
 
 use serde::{Deserialize, Serialize};
+use skybyte_types::policy::HotnessPolicyKind;
 use skybyte_types::Lpa;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 
-/// Tracks per-page access counts and nominates promotion candidates.
+/// Recorded accesses between two count-halving rounds of [`DecayTracker`].
+pub const DECAY_PERIOD_ACCESSES: u32 = 4096;
+
+/// Window length, in recorded accesses, of [`TopKTracker`].
+pub const TOPK_WINDOW_ACCESSES: u32 = 1024;
+
+/// Number of candidates [`TopKTracker`] nominates per window.
+pub const TOPK_CANDIDATES: usize = 16;
+
+/// The hotness seam of the SSD controller: decides which pages are
+/// promotion candidates for adaptive migration.
+pub trait HotnessPolicy: fmt::Debug {
+    /// Which contender this is.
+    fn kind(&self) -> HotnessPolicyKind;
+
+    /// Records one access to `lpa`. Returns `true` if this access made the
+    /// page a promotion candidate.
+    fn record_access(&mut self, lpa: Lpa) -> bool;
+
+    /// Current hotness count of a page (0 for untracked or promoted pages).
+    fn count(&self, lpa: Lpa) -> u32;
+
+    /// Takes the next promotion candidate, filtered by `eligible` (typically
+    /// "is the page still resident in the data cache"). Ineligible
+    /// candidates are dropped back to cold state so they can re-qualify.
+    fn take_candidate(&mut self, eligible: &mut dyn FnMut(Lpa) -> bool) -> Option<Lpa>;
+
+    /// Number of pending candidates.
+    fn pending_candidates(&self) -> usize;
+
+    /// Marks a page as promoted so it is no longer tracked.
+    fn mark_promoted(&mut self, lpa: Lpa);
+
+    /// Marks a page as demoted back to the SSD so it is tracked again.
+    fn mark_demoted(&mut self, lpa: Lpa);
+
+    /// Number of pages currently marked promoted.
+    fn promoted_count(&self) -> usize;
+
+    /// Number of pages the tracker currently holds state for (counters,
+    /// pending candidates and promoted marks) — the memory-growth gauge
+    /// surfaced as `SsdStats::tracked_pages`.
+    fn tracked_pages(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Threshold (default)
+// ---------------------------------------------------------------------------
+
+/// Exact per-page access counters with a fixed nomination threshold — the
+/// paper's controller design and the default hotness policy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HotPageTracker {
     threshold: u32,
     counts: HashMap<Lpa, u32>,
     /// Pages that crossed the threshold and have not been taken yet.
     candidates: Vec<Lpa>,
-    promoted: HashMap<Lpa, ()>,
+    promoted: HashSet<Lpa>,
 }
 
 impl HotPageTracker {
@@ -31,14 +105,18 @@ impl HotPageTracker {
             threshold,
             counts: HashMap::new(),
             candidates: Vec::new(),
-            promoted: HashMap::new(),
+            promoted: HashSet::new(),
         }
     }
+}
 
-    /// Records one access to `lpa`. Returns `true` if this access made the
-    /// page cross the hotness threshold.
-    pub fn record_access(&mut self, lpa: Lpa) -> bool {
-        if self.promoted.contains_key(&lpa) {
+impl HotnessPolicy for HotPageTracker {
+    fn kind(&self) -> HotnessPolicyKind {
+        HotnessPolicyKind::Threshold
+    }
+
+    fn record_access(&mut self, lpa: Lpa) -> bool {
+        if self.promoted.contains(&lpa) {
             return false;
         }
         let count = self.counts.entry(lpa).or_insert(0);
@@ -51,46 +129,336 @@ impl HotPageTracker {
         }
     }
 
-    /// Access count of a page.
-    pub fn count(&self, lpa: Lpa) -> u32 {
+    fn count(&self, lpa: Lpa) -> u32 {
         self.counts.get(&lpa).copied().unwrap_or(0)
     }
 
-    /// Takes the next promotion candidate, filtered by `eligible` (typically
-    /// "is the page still resident in the data cache"). Ineligible candidates
-    /// are dropped back to cold state so they can re-qualify later.
-    pub fn take_candidate(&mut self, mut eligible: impl FnMut(Lpa) -> bool) -> Option<Lpa> {
+    fn take_candidate(&mut self, eligible: &mut dyn FnMut(Lpa) -> bool) -> Option<Lpa> {
         while let Some(lpa) = self.candidates.pop() {
             if eligible(lpa) {
                 return Some(lpa);
             }
-            // Reset so the page can become a candidate again if it stays hot.
-            self.counts.insert(lpa, 0);
+            // Reset so the page can become a candidate again if it stays
+            // hot. A zero count and an absent entry are indistinguishable,
+            // so compact the entry away instead of storing the zero.
+            self.counts.remove(&lpa);
         }
         None
     }
 
-    /// Number of pending candidates.
-    pub fn pending_candidates(&self) -> usize {
+    fn pending_candidates(&self) -> usize {
         self.candidates.len()
     }
 
-    /// Marks a page as promoted so it is no longer tracked.
-    pub fn mark_promoted(&mut self, lpa: Lpa) {
-        self.promoted.insert(lpa, ());
+    fn mark_promoted(&mut self, lpa: Lpa) {
+        self.promoted.insert(lpa);
         self.counts.remove(&lpa);
         self.candidates.retain(|c| *c != lpa);
     }
 
-    /// Marks a page as demoted back to the SSD so it is tracked again.
-    pub fn mark_demoted(&mut self, lpa: Lpa) {
+    fn mark_demoted(&mut self, lpa: Lpa) {
         self.promoted.remove(&lpa);
-        self.counts.insert(lpa, 0);
+        self.counts.remove(&lpa);
     }
 
-    /// Number of pages currently marked promoted.
-    pub fn promoted_count(&self) -> usize {
+    fn promoted_count(&self) -> usize {
         self.promoted.len()
+    }
+
+    fn tracked_pages(&self) -> u64 {
+        (self.counts.len() + self.candidates.len() + self.promoted.len()) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exponential decay
+// ---------------------------------------------------------------------------
+
+/// Exponentially decayed frequency counters: every
+/// [`DECAY_PERIOD_ACCESSES`] recorded accesses all counts are halved and
+/// zeroed entries dropped, so only pages with sustained traffic keep state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecayTracker {
+    threshold: u32,
+    since_decay: u32,
+    counts: HashMap<Lpa, u32>,
+    candidates: Vec<Lpa>,
+    promoted: HashSet<Lpa>,
+}
+
+impl DecayTracker {
+    /// Creates a decaying tracker that nominates pages whose decayed count
+    /// reaches `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold > 0, "hotness threshold must be at least 1");
+        DecayTracker {
+            threshold,
+            since_decay: 0,
+            counts: HashMap::new(),
+            candidates: Vec::new(),
+            promoted: HashSet::new(),
+        }
+    }
+
+    fn decay(&mut self) {
+        self.counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+    }
+}
+
+impl HotnessPolicy for DecayTracker {
+    fn kind(&self) -> HotnessPolicyKind {
+        HotnessPolicyKind::Decay
+    }
+
+    fn record_access(&mut self, lpa: Lpa) -> bool {
+        if self.promoted.contains(&lpa) {
+            return false;
+        }
+        self.since_decay += 1;
+        if self.since_decay >= DECAY_PERIOD_ACCESSES {
+            self.since_decay = 0;
+            self.decay();
+        }
+        let count = self.counts.entry(lpa).or_insert(0);
+        *count += 1;
+        // Halving can bring a page back below the threshold, so guard
+        // against duplicate nominations explicitly rather than relying on
+        // crossing the threshold exactly once.
+        if *count >= self.threshold && !self.candidates.contains(&lpa) {
+            self.candidates.push(lpa);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn count(&self, lpa: Lpa) -> u32 {
+        self.counts.get(&lpa).copied().unwrap_or(0)
+    }
+
+    fn take_candidate(&mut self, eligible: &mut dyn FnMut(Lpa) -> bool) -> Option<Lpa> {
+        while let Some(lpa) = self.candidates.pop() {
+            if eligible(lpa) {
+                return Some(lpa);
+            }
+            self.counts.remove(&lpa);
+        }
+        None
+    }
+
+    fn pending_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn mark_promoted(&mut self, lpa: Lpa) {
+        self.promoted.insert(lpa);
+        self.counts.remove(&lpa);
+        self.candidates.retain(|c| *c != lpa);
+    }
+
+    fn mark_demoted(&mut self, lpa: Lpa) {
+        self.promoted.remove(&lpa);
+        self.counts.remove(&lpa);
+    }
+
+    fn promoted_count(&self) -> usize {
+        self.promoted.len()
+    }
+
+    fn tracked_pages(&self) -> u64 {
+        (self.counts.len() + self.candidates.len() + self.promoted.len()) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Windowed top-k
+// ---------------------------------------------------------------------------
+
+/// Windowed top-k: counts accesses inside a fixed window and nominates the
+/// k hottest re-referenced pages when the window closes; counts reset
+/// between windows, so memory never exceeds one window's distinct pages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopKTracker {
+    in_window: u32,
+    counts: HashMap<Lpa, u32>,
+    candidates: Vec<Lpa>,
+    promoted: HashSet<Lpa>,
+}
+
+impl TopKTracker {
+    /// Creates an empty windowed top-k tracker.
+    pub fn new() -> Self {
+        TopKTracker {
+            in_window: 0,
+            counts: HashMap::new(),
+            candidates: Vec::new(),
+            promoted: HashSet::new(),
+        }
+    }
+
+    fn close_window(&mut self) -> bool {
+        let mut hot: Vec<(Lpa, u32)> = self
+            .counts
+            .drain()
+            .filter(|&(lpa, c)| c >= 2 && !self.candidates.contains(&lpa))
+            .collect();
+        // Deterministic order: hottest first, page index breaking ties.
+        hot.sort_unstable_by_key(|&(lpa, c)| (Reverse(c), lpa.index()));
+        let before = self.candidates.len();
+        self.candidates
+            .extend(hot.into_iter().take(TOPK_CANDIDATES).map(|(lpa, _)| lpa));
+        self.candidates.len() > before
+    }
+}
+
+impl Default for TopKTracker {
+    fn default() -> Self {
+        TopKTracker::new()
+    }
+}
+
+impl HotnessPolicy for TopKTracker {
+    fn kind(&self) -> HotnessPolicyKind {
+        HotnessPolicyKind::TopK
+    }
+
+    fn record_access(&mut self, lpa: Lpa) -> bool {
+        if self.promoted.contains(&lpa) {
+            return false;
+        }
+        *self.counts.entry(lpa).or_insert(0) += 1;
+        self.in_window += 1;
+        if self.in_window >= TOPK_WINDOW_ACCESSES {
+            self.in_window = 0;
+            self.close_window()
+        } else {
+            false
+        }
+    }
+
+    fn count(&self, lpa: Lpa) -> u32 {
+        self.counts.get(&lpa).copied().unwrap_or(0)
+    }
+
+    fn take_candidate(&mut self, eligible: &mut dyn FnMut(Lpa) -> bool) -> Option<Lpa> {
+        while let Some(lpa) = self.candidates.pop() {
+            if eligible(lpa) {
+                return Some(lpa);
+            }
+            // Window counts were already reset; nothing else to clear.
+        }
+        None
+    }
+
+    fn pending_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn mark_promoted(&mut self, lpa: Lpa) {
+        self.promoted.insert(lpa);
+        self.counts.remove(&lpa);
+        self.candidates.retain(|c| *c != lpa);
+    }
+
+    fn mark_demoted(&mut self, lpa: Lpa) {
+        self.promoted.remove(&lpa);
+        self.counts.remove(&lpa);
+    }
+
+    fn promoted_count(&self) -> usize {
+        self.promoted.len()
+    }
+
+    fn tracked_pages(&self) -> u64 {
+        (self.counts.len() + self.candidates.len() + self.promoted.len()) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// The serializable dispatch wrapper the controller stores; delegates every
+/// [`HotnessPolicy`] method to the selected contender.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum HotnessTracker {
+    /// See [`HotPageTracker`].
+    Threshold(HotPageTracker),
+    /// See [`DecayTracker`].
+    Decay(DecayTracker),
+    /// See [`TopKTracker`].
+    TopK(TopKTracker),
+}
+
+impl HotnessTracker {
+    /// Constructs the contender selected by `kind` with the configured
+    /// nomination `threshold` (ignored by the windowed top-k policy, which
+    /// ranks pages instead of thresholding them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thresholded contender is given a zero `threshold`.
+    pub fn new(kind: HotnessPolicyKind, threshold: u32) -> Self {
+        match kind {
+            HotnessPolicyKind::Threshold => {
+                HotnessTracker::Threshold(HotPageTracker::new(threshold))
+            }
+            HotnessPolicyKind::Decay => HotnessTracker::Decay(DecayTracker::new(threshold)),
+            HotnessPolicyKind::TopK => HotnessTracker::TopK(TopKTracker::new()),
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn HotnessPolicy {
+        match self {
+            HotnessTracker::Threshold(t) => t,
+            HotnessTracker::Decay(t) => t,
+            HotnessTracker::TopK(t) => t,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn HotnessPolicy {
+        match self {
+            HotnessTracker::Threshold(t) => t,
+            HotnessTracker::Decay(t) => t,
+            HotnessTracker::TopK(t) => t,
+        }
+    }
+}
+
+impl HotnessPolicy for HotnessTracker {
+    fn kind(&self) -> HotnessPolicyKind {
+        self.as_dyn().kind()
+    }
+    fn record_access(&mut self, lpa: Lpa) -> bool {
+        self.as_dyn_mut().record_access(lpa)
+    }
+    fn count(&self, lpa: Lpa) -> u32 {
+        self.as_dyn().count(lpa)
+    }
+    fn take_candidate(&mut self, eligible: &mut dyn FnMut(Lpa) -> bool) -> Option<Lpa> {
+        self.as_dyn_mut().take_candidate(eligible)
+    }
+    fn pending_candidates(&self) -> usize {
+        self.as_dyn().pending_candidates()
+    }
+    fn mark_promoted(&mut self, lpa: Lpa) {
+        self.as_dyn_mut().mark_promoted(lpa)
+    }
+    fn mark_demoted(&mut self, lpa: Lpa) {
+        self.as_dyn_mut().mark_demoted(lpa)
+    }
+    fn promoted_count(&self) -> usize {
+        self.as_dyn().promoted_count()
+    }
+    fn tracked_pages(&self) -> u64 {
+        self.as_dyn().tracked_pages()
     }
 }
 
@@ -116,7 +484,7 @@ mod tests {
         t.record_access(Lpa::new(1));
         t.record_access(Lpa::new(2));
         // Page 2 is not eligible (e.g. evicted from the data cache).
-        let got = t.take_candidate(|lpa| lpa == Lpa::new(1));
+        let got = t.take_candidate(&mut |lpa| lpa == Lpa::new(1));
         assert_eq!(got, Some(Lpa::new(1)));
         assert_eq!(t.pending_candidates(), 0);
         // Page 2 was reset, not lost: it can re-qualify.
@@ -146,12 +514,96 @@ mod tests {
         assert_eq!(t.pending_candidates(), 1);
         t.mark_promoted(Lpa::new(9));
         assert_eq!(t.pending_candidates(), 0);
-        assert_eq!(t.take_candidate(|_| true), None);
+        assert_eq!(t.take_candidate(&mut |_| true), None);
     }
 
     #[test]
     #[should_panic(expected = "threshold")]
     fn rejects_zero_threshold() {
         let _ = HotPageTracker::new(0);
+    }
+
+    #[test]
+    fn ineligible_candidates_are_compacted_away() {
+        let mut t = HotPageTracker::new(1);
+        t.record_access(Lpa::new(7));
+        assert_eq!(t.take_candidate(&mut |_| false), None);
+        // The reset entry is removed, not stored as an explicit zero …
+        assert_eq!(t.tracked_pages(), 0);
+        // … which is observationally identical to a zero count.
+        assert_eq!(t.count(Lpa::new(7)), 0);
+        assert!(t.record_access(Lpa::new(7)));
+    }
+
+    #[test]
+    fn decay_halves_counts_and_drops_cold_entries() {
+        let mut t = DecayTracker::new(1000);
+        // One access each to many one-shot pages, then enough traffic to a
+        // hot page to trigger a decay round.
+        for i in 0..100u64 {
+            t.record_access(Lpa::new(i));
+        }
+        for _ in 0..DECAY_PERIOD_ACCESSES {
+            t.record_access(Lpa::new(777));
+        }
+        // The one-shot pages decayed to zero and were dropped; the hot page
+        // survives with a halved count.
+        assert_eq!(t.count(Lpa::new(5)), 0);
+        assert!(t.count(Lpa::new(777)) > 0);
+        assert!(t.tracked_pages() < 100);
+    }
+
+    #[test]
+    fn decay_renominates_without_duplicates() {
+        let mut t = DecayTracker::new(2);
+        assert!(!t.record_access(Lpa::new(1)));
+        assert!(t.record_access(Lpa::new(1)));
+        // Above-threshold accesses do not duplicate the pending candidacy.
+        assert!(!t.record_access(Lpa::new(1)));
+        assert_eq!(t.pending_candidates(), 1);
+    }
+
+    #[test]
+    fn topk_nominates_the_hottest_pages_of_a_window() {
+        let mut t = TopKTracker::new();
+        let mut nominated = false;
+        for i in 0..TOPK_WINDOW_ACCESSES {
+            // Concentrate traffic on pages 0..4, spread the rest widely.
+            let lpa = if i % 2 == 0 {
+                Lpa::new((i % 4) as u64)
+            } else {
+                Lpa::new(1000 + i as u64)
+            };
+            nominated |= t.record_access(lpa);
+        }
+        assert!(nominated, "closing the window nominates candidates");
+        assert!(t.pending_candidates() <= TOPK_CANDIDATES);
+        let got = t.take_candidate(&mut |_| true).expect("candidate");
+        assert!(got.index() < 4, "only re-referenced hot pages qualify");
+        // Counts reset between windows: memory stays bounded.
+        assert_eq!(t.count(Lpa::new(0)), 0);
+    }
+
+    #[test]
+    fn topk_memory_is_bounded_by_the_window() {
+        let mut t = TopKTracker::new();
+        for i in 0..10 * TOPK_WINDOW_ACCESSES as u64 {
+            t.record_access(Lpa::new(i)); // every page distinct
+        }
+        assert!(t.tracked_pages() <= TOPK_WINDOW_ACCESSES as u64 + TOPK_CANDIDATES as u64);
+    }
+
+    #[test]
+    fn dispatch_enum_reports_kind_and_delegates() {
+        for kind in HotnessPolicyKind::ALL {
+            let mut t = HotnessTracker::new(kind, 2);
+            assert_eq!(t.kind(), kind);
+            t.record_access(Lpa::new(1));
+            t.mark_promoted(Lpa::new(9));
+            assert_eq!(t.promoted_count(), 1);
+            assert!(t.tracked_pages() >= 1);
+            t.mark_demoted(Lpa::new(9));
+            assert_eq!(t.promoted_count(), 0);
+        }
     }
 }

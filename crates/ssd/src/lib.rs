@@ -12,9 +12,10 @@
 //! * [`ThresholdPolicy`] implements Algorithm 1, estimating the delay of a
 //!   flash access from the per-channel queue occupancy and deciding whether to
 //!   answer with the `SkyByte-Delay` NDR opcode;
-//! * [`HotPageTracker`] counts per-page accesses in the controller and
-//!   nominates promotion candidates for the adaptive page-migration mechanism
-//!   (§III-C);
+//! * the [`HotnessPolicy`] seam nominates promotion candidates for the
+//!   adaptive page-migration mechanism (§III-C) — [`HotPageTracker`] is the
+//!   paper's exact threshold counter; [`DecayTracker`] and [`TopKTracker`]
+//!   are memory-bounded contenders;
 //! * background **log compaction** (Figure 13) and **garbage collection** are
 //!   executed against the flash channel queues so that their interference with
 //!   foreground reads is visible in the latency estimates.
@@ -46,12 +47,12 @@
 #![warn(missing_docs)]
 
 mod controller;
-mod hotness;
+pub mod hotness;
 mod stats;
 mod trigger;
 
 pub use controller::SsdController;
-pub use hotness::HotPageTracker;
+pub use hotness::{DecayTracker, HotPageTracker, HotnessPolicy, HotnessTracker, TopKTracker};
 pub use stats::{AccessBreakdown, ServedBy, SsdStats};
 pub use trigger::{ThresholdPolicy, TriggerDecision};
 

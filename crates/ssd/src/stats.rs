@@ -91,6 +91,15 @@ pub struct SsdStats {
     /// Pages removed from the SSD caches because they were promoted to host
     /// DRAM.
     pub pages_promoted: u64,
+    /// Dirty data written through to flash because the admission policy
+    /// bypassed the page (zero under the default admit-all policy).
+    #[serde(default)]
+    pub write_throughs: u64,
+    /// Gauge: pages the hotness tracker currently holds state for (counters,
+    /// pending candidates, promoted marks). `None` in results pinned before
+    /// the tracker exposed it.
+    #[serde(default)]
+    pub tracked_pages: Option<u64>,
 }
 
 impl SsdStats {

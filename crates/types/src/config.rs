@@ -16,6 +16,7 @@
 //! | `t_policy` | [`SimConfig::sched_policy`] |
 
 use crate::error::ConfigError;
+use crate::policy::PolicyConfig;
 use crate::time::{Freq, Nanos};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -726,6 +727,11 @@ pub struct SimConfig {
     /// The named design variant this configuration corresponds to (for
     /// reporting); the boolean knobs above are authoritative.
     pub variant: VariantKind,
+    /// Pluggable policy selection for the seams lifted behind traits
+    /// (data-cache eviction/admission, hotness tracking, tenant scheduling).
+    /// The default reproduces the pre-policy-layer behaviour exactly.
+    #[serde(default)]
+    pub policy: PolicyConfig,
 }
 
 impl Default for SimConfig {
@@ -744,6 +750,7 @@ impl Default for SimConfig {
             context_switch_overhead: Nanos::from_micros(2),
             infinite_host_dram: false,
             variant: VariantKind::BaseCssd,
+            policy: PolicyConfig::default(),
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod addr;
 pub mod audit;
 pub mod config;
 pub mod error;
+pub mod policy;
 pub mod stats;
 pub mod tenant;
 pub mod time;
@@ -58,6 +59,10 @@ pub mod prelude {
         SsdDramConfig, SsdGeometry, TlbConfig, VariantKind,
     };
     pub use crate::error::ConfigError;
+    pub use crate::policy::{
+        apply_policy_name, AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind,
+        PolicyConfig, PolicyOverride, TenantSchedKind,
+    };
     pub use crate::stats::{Counter, LatencyHistogram, RatioBreakdown};
     pub use crate::tenant::{TenantId, TenantMap};
     pub use crate::time::{Freq, Nanos};
@@ -75,6 +80,10 @@ pub use config::{
     SsdDramConfig, SsdGeometry, TlbConfig, VariantKind, GIB, KIB, MIB,
 };
 pub use error::ConfigError;
+pub use policy::{
+    apply_policy_name, AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind, PolicyConfig,
+    PolicyOverride, TenantSchedKind,
+};
 pub use stats::{Counter, LatencyHistogram, RatioBreakdown};
 pub use tenant::{TenantId, TenantMap};
 pub use time::{Freq, Nanos};
