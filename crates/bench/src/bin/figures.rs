@@ -41,6 +41,9 @@ struct Options {
     out: Option<PathBuf>,
     drive: TraceDrive,
     audit: bool,
+    /// Write a machine-readable engine-throughput report (`--perf`,
+    /// optionally `--perf PATH`; defaults to `perf.json`).
+    perf: Option<PathBuf>,
     /// Policy names applied to every simulation (`--policy <name>`,
     /// repeatable), resolved through the unified registry.
     policies: Vec<PolicyOverride>,
@@ -56,6 +59,7 @@ fn parse_args() -> Result<Options, String> {
         out: None,
         drive: TraceDrive::Synthetic,
         audit: false,
+        perf: None,
         policies: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -132,6 +136,18 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--audit" => opts.audit = true,
+            "--perf" => {
+                // An optional path may follow; anything starting with `--`
+                // is the next flag, not a path.
+                let path = match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        PathBuf::from(next)
+                    }
+                    _ => PathBuf::from("perf.json"),
+                };
+                opts.perf = Some(path);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--all] [--fig N|mt|policy]... [--table N]... \
@@ -149,6 +165,8 @@ fn parse_args() -> Result<Options, String> {
                      --replay-dir DIR   drive the simulations from recorded .sbt traces\n\
                      --audit            run the cross-layer conservation audit on every\n\
                      \u{20}                  simulation and fail on any violated invariant\n\
+                     --perf [PATH]      write a machine-readable engine-throughput report\n\
+                     \u{20}                  (per-run wall clock + accesses/sec; default perf.json)\n\
                      (see the `trace` binary for standalone record/replay/stat/mix)"
                 );
                 std::process::exit(0);
@@ -280,6 +298,30 @@ fn main() -> ExitCode {
             "[figures] wrote {exported} CSV file(s) to {}",
             dir.display()
         );
+    }
+    if let Some(path) = &opts.perf {
+        let report = skybyte_sim::PerfReport::from_runner(&runner);
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: cannot write --perf report {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "[figures] perf: {} work units in {:.3}s wall ({:.0} accesses/sec \
+                     aggregate) across {} run(s); report written to {}",
+                    report.total_work_units,
+                    report.total_wall_nanos as f64 / 1e9,
+                    report.aggregate_units_per_sec,
+                    report.runs.len(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: cannot serialise --perf report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if runner.truncated_runs() > 0 {
         eprintln!(

@@ -19,7 +19,7 @@
 //! and looping.
 
 use skybyte_bench::{figures_scale, variant_from_name};
-use skybyte_sim::{ExperimentScale, SimResult, Simulation};
+use skybyte_sim::{ExperimentScale, PerfReport, RunTiming, SimResult, Simulation};
 use skybyte_trace::{
     record_to_file, BoxedSource, Concat, LoopN, Mix, Shift, TraceFileSource, TraceHeader,
     TraceReader, TraceSource, TraceStats, TraceWriter,
@@ -36,13 +36,15 @@ const USAGE: &str = "usage: trace <record|replay|stat|mix|verify-corpus> [option
       Write the synthetic .sbt trace the simulator would consume.
 
   replay --trace FILE [--variant NAME] [--workload NAME] [--scale ...]
-         [--policy NAME]...
+         [--policy NAME]... [--perf [PATH]]
       Run a full simulation driven by FILE and print its metrics. The
       trace defines footprint, thread count and the amount of work; the
       scale defines the device. The workload label defaults to the one
       named in the trace's provenance header. --policy applies an
       off-default policy (repeatable; e.g. clock, 2q, bypass-scan, decay,
       topk, fair-share, tpp, rr — same name registry as `figures`).
+      --perf additionally writes a machine-readable engine-throughput
+      report (wall clock + accesses/sec; default PATH: perf.json).
 
   stat --trace FILE
       Stream the trace once and print footprint / write ratio / per-page
@@ -210,10 +212,22 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let mut workload: Option<WorkloadKind> = None;
     let mut scale = ExperimentScale::tiny();
     let mut policies: Vec<PolicyOverride> = Vec::new();
+    let mut perf: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
+            "--perf" => {
+                // An optional path may follow; anything starting with `--`
+                // is the next flag, not a path.
+                perf = Some(match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        PathBuf::from(next)
+                    }
+                    _ => PathBuf::from("perf.json"),
+                });
+            }
             "--policy" => policies.push(value(args, &mut i, "--policy")?.parse()?),
             "--variant" => {
                 let name = value(args, &mut i, "--variant")?;
@@ -245,10 +259,45 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     // The trace defines the footprint and thread count; the scale defines
     // the simulated device around it (shared with the golden corpus via
     // `replay_trace_file`, capacity guard included).
+    let started = std::time::Instant::now();
     let result =
         skybyte_bench::replay_trace_file(&trace, &header, variant, workload, scale, &policies)?;
+    let wall = started.elapsed();
     println!("replayed {} as {variant} ({workload})", trace.display());
     print_summary(&result);
+    if let Some(path) = perf {
+        let work_units = result.requests.total() + result.squashed_accesses;
+        let wall_nanos = wall.as_nanos() as u64;
+        let units_per_sec = if wall_nanos == 0 {
+            0.0
+        } else {
+            work_units as f64 / (wall_nanos as f64 / 1e9)
+        };
+        let report = PerfReport {
+            jobs: 1,
+            runs: vec![RunTiming {
+                variant: variant.to_string(),
+                workload: workload.to_string(),
+                wall_nanos,
+                work_units,
+                simulated_nanos: result.exec_time.as_nanos(),
+                units_per_sec,
+            }],
+            total_work_units: work_units,
+            total_wall_nanos: wall_nanos,
+            aggregate_units_per_sec: units_per_sec,
+        };
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialise --perf report: {e}"))?;
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write --perf report {}: {e}", path.display()))?;
+        println!(
+            "perf: {work_units} work units in {:.3}s wall ({units_per_sec:.0} accesses/sec); \
+             report written to {}",
+            wall_nanos as f64 / 1e9,
+            path.display()
+        );
+    }
     Ok(())
 }
 

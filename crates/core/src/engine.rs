@@ -383,18 +383,52 @@ impl Simulation {
     /// `source` to completion and assembles the result.
     fn run_loop(&self, source: &mut dyn TraceSource, per_thread_budget: u64) -> SimResult {
         let (label, footprint_pages) = self.label_and_footprint_pages();
-        let max_steps = self.cfg.threads as u64 * self.scale.accesses_per_thread * 64 + 1_000_000;
-        let mut system = SystemState::new(
+        let mut system = self.build_system(source, per_thread_budget, footprint_pages);
+        system.run(source);
+        system.into_result(&label)
+    }
+
+    /// Runs the synthetic workload through the legacy min-clock reference
+    /// loop instead of the event-driven engine. The two are property-tested
+    /// to produce identical results; this exists so those tests (and anyone
+    /// auditing the event engine) can drive the executable specification.
+    #[doc(hidden)]
+    pub fn run_reference(&self) -> SimResult {
+        let budget = self.per_thread_budget();
+        let (label, footprint_pages) = self.label_and_footprint_pages();
+        if !self.tenants.is_empty() {
+            let mut source = self.multi_source();
+            let mut system = self.build_system(&mut source, budget, footprint_pages);
+            system.run_reference(&mut source);
+            return system.into_result(&label);
+        }
+        let spec = self.scale.workload_spec(self.workload);
+        let mut source = WorkloadSource::new(&spec, self.cfg.threads, self.scale.seed);
+        let mut system = self.build_system(&mut source, budget, footprint_pages);
+        system.run_reference(&mut source);
+        system.into_result(&label)
+    }
+
+    fn build_system(
+        &self,
+        source: &mut dyn TraceSource,
+        per_thread_budget: u64,
+        footprint_pages: u64,
+    ) -> SystemState {
+        // The truncation guard counts retired work units (idle iterations
+        // are free in the event engine and deliberately don't count): the
+        // budgeted accesses of every thread, a 64x allowance for squashed
+        // re-issues, plus slack for tiny scales.
+        let max_units = self.cfg.threads as u64 * self.scale.accesses_per_thread * 64 + 1_000_000;
+        SystemState::new(
             &self.cfg,
             self.scale.seed,
             source,
             per_thread_budget,
             footprint_pages,
             self.scale.precondition_fraction,
-            max_steps,
-        );
-        system.run(source);
-        system.into_result(&label)
+            max_units,
+        )
     }
 }
 

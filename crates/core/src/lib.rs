@@ -38,6 +38,7 @@
 
 pub mod audit;
 pub mod engine;
+pub mod event;
 pub mod experiments;
 pub mod metrics;
 pub mod migration;
@@ -49,13 +50,14 @@ pub mod tenant_sched;
 pub mod thread_exec;
 
 pub use engine::{Simulation, TraceDrive};
+pub use event::{Event, EventQueue};
 pub use metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
 pub use migration::{
     AdaptiveTrigger, AstriFlashTrigger, DisabledTrigger, MigrationEngine, MigrationTrigger,
     TppTrigger,
 };
 pub use report::{figure_table, figure_table_named, paper_table, render_figure, render_table};
-pub use runner::{RunRequest, Runner};
+pub use runner::{PerfReport, RunRequest, RunTiming, Runner};
 pub use scale::ExperimentScale;
 pub use system::SystemState;
 pub use tenant_sched::{FairShareScheduler, PassthroughScheduler, TenantScheduler};

@@ -17,11 +17,13 @@
 use crate::engine::{Simulation, TraceDrive};
 use crate::metrics::SimResult;
 use crate::scale::ExperimentScale;
+use serde::Serialize;
 use skybyte_types::{PolicyOverride, SimConfig, VariantKind};
 use skybyte_workloads::WorkloadKind;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// One fully specified simulation run, identified by a deterministic
 /// fingerprint of its configuration, workload and scale.
@@ -64,6 +66,66 @@ impl RunRequest {
     /// The simulation this request will run.
     pub fn simulation(&self) -> &Simulation {
         &self.sim
+    }
+}
+
+/// Wall-clock measurement of one *executed* simulation (memo hits recall the
+/// cached result and are deliberately not re-timed).
+///
+/// `work_units` counts retired accesses — completed requests plus squashed
+/// re-issues — the same unit the engine's `max_steps` budget meters, so
+/// `units_per_sec` is comparable across variants and scales.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunTiming {
+    /// Design variant of the run (e.g. `Base-CSSD`).
+    pub variant: String,
+    /// Workload driving the run (e.g. `tpcc`).
+    pub workload: String,
+    /// Host wall-clock time spent inside [`Simulation::run`], in nanoseconds.
+    pub wall_nanos: u64,
+    /// Retired work units: completed requests + squashed re-issues.
+    pub work_units: u64,
+    /// Simulated time covered by the run, in nanoseconds.
+    pub simulated_nanos: u64,
+    /// `work_units` per host wall-clock second — the engine's throughput.
+    pub units_per_sec: f64,
+}
+
+/// Machine-readable simulation-throughput report (the `--perf` flag of the
+/// `figures` and `trace` binaries).
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfReport {
+    /// Worker threads the runner used.
+    pub jobs: usize,
+    /// Per-run timings in execution order.
+    pub runs: Vec<RunTiming>,
+    /// Sum of `work_units` across runs.
+    pub total_work_units: u64,
+    /// Sum of per-run wall time (CPU-side; concurrent runs overlap).
+    pub total_wall_nanos: u64,
+    /// `total_work_units / total_wall_nanos`, scaled to seconds: aggregate
+    /// single-thread-equivalent engine throughput.
+    pub aggregate_units_per_sec: f64,
+}
+
+impl PerfReport {
+    /// Summarises every run `runner` executed so far.
+    pub fn from_runner(runner: &Runner) -> Self {
+        let runs = runner.run_timings();
+        let total_work_units: u64 = runs.iter().map(|t| t.work_units).sum();
+        let total_wall_nanos: u64 = runs.iter().map(|t| t.wall_nanos).sum();
+        let aggregate_units_per_sec = if total_wall_nanos == 0 {
+            0.0
+        } else {
+            total_work_units as f64 / (total_wall_nanos as f64 / 1e9)
+        };
+        PerfReport {
+            jobs: runner.jobs(),
+            runs,
+            total_work_units,
+            total_wall_nanos,
+            aggregate_units_per_sec,
+        }
     }
 }
 
@@ -123,6 +185,8 @@ pub struct Runner {
     runs_executed: AtomicU64,
     truncated_runs: AtomicU64,
     audit_failures: Mutex<Vec<String>>,
+    /// Wall-clock timing of every executed run, in execution order.
+    timings: Mutex<Vec<RunTiming>>,
 }
 
 /// Memoized results plus the fingerprints currently being simulated, so that
@@ -146,6 +210,7 @@ impl Runner {
             runs_executed: AtomicU64::new(0),
             truncated_runs: AtomicU64::new(0),
             audit_failures: Mutex::new(Vec::new()),
+            timings: Mutex::new(Vec::new()),
         }
     }
 
@@ -220,6 +285,13 @@ impl Runner {
     /// when this is nonzero: truncated metrics describe an unfinished run.
     pub fn truncated_runs(&self) -> u64 {
         self.truncated_runs.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock timings of every simulation this runner has executed, in
+    /// execution order. Memo hits recall cached results and do not add
+    /// entries.
+    pub fn run_timings(&self) -> Vec<RunTiming> {
+        self.timings.lock().expect("timing log poisoned").clone()
     }
 
     /// Number of distinct results currently memoized.
@@ -334,8 +406,30 @@ impl Runner {
 
     /// Simulates one claimed request and publishes its result.
     fn execute(&self, req: &RunRequest) {
+        let started = Instant::now();
         let result = Arc::new(req.simulation().run());
+        let wall = started.elapsed();
         self.runs_executed.fetch_add(1, Ordering::Relaxed);
+        {
+            let work_units = result.requests.total() + result.squashed_accesses;
+            let wall_nanos = wall.as_nanos() as u64;
+            let units_per_sec = if wall_nanos == 0 {
+                0.0
+            } else {
+                work_units as f64 / (wall_nanos as f64 / 1e9)
+            };
+            self.timings
+                .lock()
+                .expect("timing log poisoned")
+                .push(RunTiming {
+                    variant: req.simulation().config().variant.to_string(),
+                    workload: req.simulation().workload().to_string(),
+                    wall_nanos,
+                    work_units,
+                    simulated_nanos: result.exec_time.as_nanos(),
+                    units_per_sec,
+                });
+        }
         if result.truncated {
             self.truncated_runs.fetch_add(1, Ordering::Relaxed);
         }

@@ -7,8 +7,8 @@
 //! migration engine, per-core clocks and boundedness) plus all run counters
 //! — and a pipeline of composable steps executed once per work unit:
 //!
-//! 1. [`schedule`](SystemState::schedule) — pick the lagging core, ensure a
-//!    thread runs on it (or advance through idle time); which runnable
+//! 1. [`schedule`](SystemState::schedule) — ensure a thread runs on the
+//!    core whose event fired (or advance through idle time); which runnable
 //!    thread an empty core picks is the pluggable
 //!    [`TenantScheduler`](crate::tenant_sched::TenantScheduler) seam,
 //! 2. [`translate`](SystemState::translate) — compute burst, TLB walk and
@@ -28,7 +28,15 @@
 //! together. For a single-tenant source the pipeline performs exactly the
 //! operations of the old monolith in the same order — the golden-trace
 //! corpus pins that the refactor is behaviour-preserving bit for bit.
+//!
+//! Passes are sequenced by a discrete-event core ([`crate::event`]): each
+//! live core keeps one pending event in a monotone queue, idle cores jump
+//! straight to their next wake-up, and cores with no possible wake-up park
+//! until scheduler activity elsewhere revives them. The legacy per-step
+//! min-clock scan survives as [`SystemState::run_reference`], the
+//! executable specification the event engine is property-tested against.
 
+use crate::event::EventQueue;
 use crate::metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
 use crate::migration::{MigrationContext, MigrationEngine};
 use crate::tenant_sched::{tenant_scheduler, TenantScheduler, TenantView};
@@ -45,12 +53,37 @@ use skybyte_workloads::{TraceSource, WorkUnit};
 /// can bound `migration_runs` per access window.
 pub const MIGRATION_PERIOD_ACCESSES: u64 = 64;
 
+/// The idle fallback quantum: with no pending wake-up at all, an idle core
+/// advances its clock in bounded hops of this size (1 µs), exactly as the
+/// legacy min-clock loop did. The event engine coalesces runs of such hops
+/// — see [`SystemState::unpark`] — but the per-hop accounting is identical.
+const IDLE_HOP: Nanos = Nanos::from_micros(1);
+
 /// The outcome of the scheduling step for one core.
 enum Scheduled {
     /// A thread runs on the core.
     Run(ThreadId),
-    /// No thread was runnable; the core idled forward to its next clock.
+    /// No thread was runnable; the core idled forward to the next pending
+    /// wake-up (its new clock value).
     Idle,
+    /// No thread was runnable and no wake-up is pending anywhere: the core
+    /// advanced one bounded [`IDLE_HOP`] and should be parked — every
+    /// unfinished thread is running on some other core, so only another
+    /// core's scheduler activity can make this one useful again.
+    Park,
+}
+
+/// What one pipeline pass did, telling the event loop how to re-arm the
+/// core's next event.
+enum Pass {
+    /// The core ran (or finished) a thread; its clock is now this value.
+    Advance(Nanos),
+    /// The core idled to a known wake-up; its clock is now this value.
+    Idle(Nanos),
+    /// The core took one idle hop into the void and parked (no re-arm).
+    Parked,
+    /// The work-unit budget is exhausted: stop the run as truncated.
+    Truncated,
 }
 
 /// Everything one simulation run owns: the simulated devices, the OS-side
@@ -88,10 +121,22 @@ pub struct SystemState {
     squashed_accesses: u64,
     // Per-tenant attribution, indexed by dense tenant id.
     per_tenant: Vec<TenantCounters>,
-    // Step accounting.
-    steps: u64,
-    max_steps: u64,
+    // Work accounting: `units` counts retired work units (every unit pulled
+    // from an executor and pushed through the access pipeline, squashed
+    // re-issues included). The truncation guard compares it against
+    // `max_units` — idle iterations deliberately do not count, so the guard
+    // keeps its meaning now that blocked/idle time costs O(events) instead
+    // of O(ticks).
+    units: u64,
+    max_units: u64,
     truncated: bool,
+    // Event-engine state: which cores are parked (removed from the event
+    // queue because nothing can wake them until another core's scheduler
+    // activity), and whether the current pass changed scheduler state
+    // (a yield or a thread finish) — the signal that unparks them.
+    parked: Vec<bool>,
+    parked_count: usize,
+    sched_dirty: bool,
 }
 
 impl SystemState {
@@ -112,7 +157,7 @@ impl SystemState {
         per_thread_budget: u64,
         footprint_pages: u64,
         precondition_fraction: f64,
-        max_steps: u64,
+        max_units: u64,
     ) -> Self {
         cfg.validate().expect("invalid simulation configuration");
         assert_eq!(
@@ -176,45 +221,117 @@ impl SystemState {
             ssd_accesses: 0,
             squashed_accesses: 0,
             per_tenant,
-            steps: 0,
-            max_steps,
+            units: 0,
+            max_units,
             truncated: false,
+            parked: vec![false; cores],
+            parked_count: 0,
+            sched_dirty: false,
         }
     }
 
-    /// Runs the pipeline until every thread finished (or the step limit
-    /// trips, which sets the `truncated` flag on the eventual result).
+    /// Runs the pipeline until every thread finished (or the work-unit
+    /// budget trips, which sets the `truncated` flag on the eventual
+    /// result).
+    ///
+    /// This is the discrete-event loop: each live core has exactly one
+    /// pending event — the instant it next becomes actionable — in a
+    /// monotone [`EventQueue`] keyed `(time, core, seq)`. Popping the
+    /// earliest event is the same pick the old per-step `min_by_key` clock
+    /// scan made (lowest clock, lowest core index on ties), so the
+    /// schedule order — and therefore every counter, including the
+    /// golden-corpus-pinned ones — is bit-identical to
+    /// [`SystemState::run_reference`]. Cores with nothing to do and no
+    /// pending wake-up are *parked* (their event removed) instead of
+    /// re-queued for 1 µs crawl hops; the hops they would have taken are
+    /// applied in one closed-form batch when scheduler activity on another
+    /// core wakes them — see [`SystemState::unpark`].
     pub(crate) fn run(&mut self, source: &mut dyn TraceSource) {
+        let mut queue = EventQueue::new();
+        for c in 0..self.core_clock.len() {
+            queue.push(self.core_clock[c], c as u32);
+        }
+        let mut last = (Nanos::ZERO, 0usize);
         while !self.sched.all_finished() {
-            self.steps += 1;
-            if self.steps > self.max_steps {
-                self.truncated = true;
-                break;
+            let ev = queue
+                .pop()
+                .expect("event queue starved with unfinished threads");
+            let core = ev.core as usize;
+            debug_assert_eq!(ev.time, self.core_clock[core]);
+            last = (ev.time, core);
+            match self.pass(core, ev.time, source) {
+                Pass::Advance(next) | Pass::Idle(next) => {
+                    queue.push(next, ev.core);
+                }
+                Pass::Parked => {
+                    self.parked[core] = true;
+                    self.parked_count += 1;
+                }
+                Pass::Truncated => {
+                    self.truncated = true;
+                    break;
+                }
             }
-            self.step(source);
+            if self.sched_dirty {
+                self.sched_dirty = false;
+                if self.parked_count > 0 {
+                    self.unpark(ev.time, core, Some(&mut queue));
+                }
+            }
+        }
+        // A truncated exit can leave cores parked with idle hops still
+        // pending (the reference interleaving performed every hop that
+        // precedes the final pass); settle them so clocks and idle
+        // boundedness match the reference bit for bit.
+        if self.parked_count > 0 {
+            self.unpark(last.0, last.1, None);
         }
     }
 
-    /// One pipeline pass over the lagging core: schedule, pull a unit,
-    /// translate, access (host or SSD), retire.
-    fn step(&mut self, source: &mut dyn TraceSource) {
-        let core = (0..self.core_clock.len())
-            .min_by_key(|&c| self.core_clock[c])
-            .expect("at least one core");
-        let now = self.core_clock[core];
+    /// The legacy engine: scan every core's clock per iteration, advance the
+    /// laggard, and let idle cores crawl in bounded hops. Kept as the
+    /// executable specification the event-driven [`SystemState::run`] is
+    /// property-tested against — both share [`SystemState::pass`], so what
+    /// this pins is exactly the event ordering (queue + parking vs. scan +
+    /// per-tick hops).
+    pub(crate) fn run_reference(&mut self, source: &mut dyn TraceSource) {
+        while !self.sched.all_finished() {
+            let core = (0..self.core_clock.len())
+                .min_by_key(|&c| self.core_clock[c])
+                .expect("at least one core");
+            let now = self.core_clock[core];
+            match self.pass(core, now, source) {
+                Pass::Truncated => {
+                    self.truncated = true;
+                    break;
+                }
+                Pass::Advance(_) | Pass::Idle(_) | Pass::Parked => {}
+            }
+            self.sched_dirty = false;
+        }
+    }
 
+    /// One pipeline pass over `core` at time `now`: schedule, pull a unit,
+    /// translate, access (host or SSD), retire.
+    fn pass(&mut self, core: usize, now: Nanos, source: &mut dyn TraceSource) -> Pass {
         let tid = match self.schedule(core, now) {
             Scheduled::Run(tid) => tid,
-            Scheduled::Idle => return,
+            Scheduled::Idle => return Pass::Idle(self.core_clock[core]),
+            Scheduled::Park => return Pass::Parked,
         };
 
         let unit = match self.execs[tid.0 as usize].next_unit(source) {
             Some(u) => u,
             None => {
                 self.finish_thread(tid, now);
-                return;
+                return Pass::Advance(now);
             }
         };
+
+        if self.units >= self.max_units {
+            return Pass::Truncated;
+        }
+        self.units += 1;
 
         let (t, placement) = self.translate(core, tid, &unit, now);
         let t = match placement {
@@ -222,6 +339,52 @@ impl SystemState {
             PagePlacement::CxlSsd(lpa) => self.ssd_access(core, tid, unit, lpa, t),
         };
         self.retire(core, tid, t);
+        Pass::Advance(t)
+    }
+
+    /// Wakes every parked core after scheduler activity during the pass
+    /// that ran on `pass_core` at `pass_time`, applying — in one batch —
+    /// the 1 µs idle hops the legacy loop interleaved before that pass.
+    ///
+    /// A core parks only when no thread is runnable or blocked (everything
+    /// unfinished is running elsewhere), so until the state change that
+    /// triggered this call, the reference loop could do nothing with the
+    /// parked core except hop it: each hop advances its clock by
+    /// [`IDLE_HOP`], charges the hop to idle boundedness, and counts an
+    /// idle pick. A hop with pre-hop clock `t` precedes the pass iff
+    /// `t < pass_time`, or `t == pass_time` and the parked core's index is
+    /// lower (the scan picks the first minimal clock), which gives the
+    /// closed-form hop count below.
+    fn unpark(&mut self, pass_time: Nanos, pass_core: usize, queue: Option<&mut EventQueue>) {
+        let hop = IDLE_HOP.as_nanos();
+        let mut queue = queue;
+        for core in 0..self.parked.len() {
+            if !self.parked[core] {
+                continue;
+            }
+            self.parked[core] = false;
+            self.parked_count -= 1;
+            let clock = self.core_clock[core];
+            let hops = if clock > pass_time {
+                0
+            } else {
+                let d = pass_time.since(clock).as_nanos();
+                if !d.is_multiple_of(hop) {
+                    d / hop + 1
+                } else {
+                    d / hop + u64::from(core < pass_core)
+                }
+            };
+            if hops > 0 {
+                let advance = IDLE_HOP * hops;
+                self.core_clock[core] += advance;
+                self.boundedness[core].idle += advance;
+                self.sched.record_idle_picks(hops);
+            }
+            if let Some(q) = queue.as_deref_mut() {
+                q.push(self.core_clock[core], core as u32);
+            }
+        }
     }
 
     /// Scheduling step: make sure a thread runs on `core`, or idle the core
@@ -242,17 +405,26 @@ impl SystemState {
                 .schedule_on(&mut self.sched, core as u32, now, &view)
             {
                 Some(t) => Scheduled::Run(t),
-                None => {
-                    // Nothing runnable: idle until the next wake-up.
-                    let wake = self
-                        .sched
-                        .next_wakeup()
-                        .unwrap_or(now + Nanos::from_micros(1))
-                        .max(now + Nanos::new(100));
-                    self.boundedness[core].idle += wake - now;
-                    self.core_clock[core] = wake;
-                    Scheduled::Idle
-                }
+                None => match self.sched.next_wakeup() {
+                    // Nothing runnable: idle until the next wake-up (never
+                    // less than the 100 ns minimum step, the spin guard).
+                    Some(w) => {
+                        let wake = w.max(now + Nanos::new(100));
+                        self.boundedness[core].idle += wake - now;
+                        self.core_clock[core] = wake;
+                        Scheduled::Idle
+                    }
+                    // Nothing runnable and nothing blocked either — every
+                    // unfinished thread runs on another core. Take one
+                    // bounded fallback hop (the legacy idle crawl quantum)
+                    // and tell the engine to park this core.
+                    None => {
+                        let wake = now + IDLE_HOP;
+                        self.boundedness[core].idle += wake - now;
+                        self.core_clock[core] = wake;
+                        Scheduled::Park
+                    }
+                },
             },
         }
     }
@@ -371,6 +543,9 @@ impl SystemState {
             let wake = outcome.ready_at.max(outcome.estimated_ready_at);
             self.sched
                 .yield_current(core as u32, t, wake, BlockReason::LongSsdAccess);
+            // The yield changed scheduler state (a thread became blocked or
+            // runnable): parked cores may have something to react to.
+            self.sched_dirty = true;
             t += cs;
             // The squashed access is excluded from AMAT (§VI-D).
         } else {
@@ -446,6 +621,9 @@ impl SystemState {
     /// experiments).
     fn finish_thread(&mut self, tid: ThreadId, at: Nanos) {
         self.sched.finish_thread(tid);
+        // Scheduler state changed: a finish can end the run (or free the
+        // last obstacle to it), so parked cores must be settled.
+        self.sched_dirty = true;
         let counters = &mut self.per_tenant[self.tenant_map.tenant_of(tid.0).index()];
         counters.finish_time = counters.finish_time.max(at);
     }
@@ -559,7 +737,7 @@ mod tests {
         // At the wake-up the thread is runnable again.
         match sys.schedule(0, wake) {
             Scheduled::Run(t) => assert_eq!(t, tid),
-            Scheduled::Idle => panic!("thread must wake at its wake-up time"),
+            Scheduled::Idle | Scheduled::Park => panic!("thread must wake at its wake-up time"),
         }
     }
 
@@ -621,7 +799,7 @@ mod tests {
         // core keeps running it rather than idling — no spin either way.
         match sys.schedule(0, Nanos::new(1_000)) {
             Scheduled::Run(t) => assert_eq!(t, tid),
-            Scheduled::Idle => {
+            Scheduled::Idle | Scheduled::Park => {
                 assert!(sys.core_clock[0] >= Nanos::new(1_100));
             }
         }
@@ -698,5 +876,78 @@ mod tests {
         );
         assert!(r.per_tenant.iter().all(|t| t.finish_time <= r.exec_time));
         assert!(r.per_tenant.iter().all(|t| t.finish_time > Nanos::ZERO));
+    }
+
+    #[test]
+    fn parked_cores_match_the_reference_engine_bit_for_bit() {
+        // More cores than threads: whenever the sole thread is running,
+        // every other core has nothing runnable and no wake-up to sleep to.
+        // The reference loop crawls those cores forward in 1 µs hops; the
+        // event engine parks them and settles the hops in closed form. The
+        // results — including idle boundedness and exec time, which see
+        // every individual hop — must agree exactly.
+        let scale = crate::scale::ExperimentScale::tiny().with_accesses_per_thread(300);
+        for variant in [VariantKind::BaseCssd, VariantKind::SkyByteFull] {
+            let cfg = scale
+                .apply(SimConfig::default().with_variant(variant))
+                .with_threads(1)
+                .with_cores(4);
+            let workload = skybyte_workloads::WorkloadKind::Ycsb;
+            let event = crate::engine::Simulation::with_config(cfg.clone(), workload, &scale).run();
+            let reference =
+                crate::engine::Simulation::with_config(cfg, workload, &scale).run_reference();
+            assert!(
+                event.boundedness.idle > Nanos::ZERO,
+                "a 4-core/1-thread run must accumulate idle time"
+            );
+            assert_eq!(event, reference);
+        }
+    }
+
+    mod event_vs_reference {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            // The event-driven engine and the legacy min-clock reference
+            // must agree on the complete result — every counter, clock and
+            // histogram bucket — across random design points: this is what
+            // pins that the queue + parking machinery reorders nothing
+            // observable.
+            #[test]
+            fn event_engine_is_result_identical_to_the_reference(
+                variant_idx in 0usize..5,
+                workload_idx in 0usize..3,
+                threads in 1u32..6,
+                cores in 1u32..5,
+                seed in 0u64..1_000_000,
+            ) {
+                let variant = [
+                    VariantKind::BaseCssd,
+                    VariantKind::SkyByteC,
+                    VariantKind::SkyByteFull,
+                    VariantKind::DramOnly,
+                    VariantKind::SkyByteCT,
+                ][variant_idx];
+                let workload = [
+                    skybyte_workloads::WorkloadKind::Tpcc,
+                    skybyte_workloads::WorkloadKind::Ycsb,
+                    skybyte_workloads::WorkloadKind::Srad,
+                ][workload_idx];
+                let mut scale =
+                    crate::scale::ExperimentScale::tiny().with_accesses_per_thread(120);
+                scale.seed = seed;
+                let cfg = scale
+                    .apply(SimConfig::default().with_variant(variant))
+                    .with_threads(threads)
+                    .with_cores(cores);
+                let event = crate::engine::Simulation::with_config(cfg.clone(), workload, &scale)
+                    .run();
+                let reference = crate::engine::Simulation::with_config(cfg, workload, &scale)
+                    .run_reference();
+                prop_assert_eq!(event, reference);
+            }
+        }
     }
 }

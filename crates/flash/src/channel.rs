@@ -57,15 +57,25 @@ impl QueueCounters {
 /// previously accepted work.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ChannelQueue {
-    /// Commands that have been submitted and not yet retired by
-    /// [`ChannelQueue::retire_completed`].
-    inflight: VecDeque<FlashCommand>,
+    /// In-flight reads in submission order. Each read waits for every earlier
+    /// read (`read_busy_until` only grows), so completion times are monotone
+    /// within this queue and retirement is a pop-front loop.
+    inflight_reads: VecDeque<(u64, FlashCommand)>,
+    /// In-flight programs/erases in submission order. They serialise behind
+    /// all previously accepted work (`busy_until` is non-decreasing), so this
+    /// queue is completion-monotone too. The `u64` on both queues is a
+    /// submission sequence number used to break completion-time ties exactly
+    /// as a stable sort over one combined submission-ordered queue would.
+    inflight_writes: VecDeque<(u64, FlashCommand)>,
+    /// Next submission sequence number.
+    seq: u64,
     /// Time at which the channel finishes its last accepted command.
     busy_until: Nanos,
     /// Time at which the last accepted *read* completes (the priority lane).
     read_busy_until: Nanos,
-    /// Earliest completion time among in-flight commands; lets
-    /// [`ChannelQueue::retire_completed`] exit in O(1) when nothing is done.
+    /// Earliest completion time among in-flight commands (`Nanos::MAX` when
+    /// idle); lets [`ChannelQueue::retire_completed`] exit in O(1) when
+    /// nothing is done.
     earliest_completion: Nanos,
     /// Cumulative busy time of the channel (for bandwidth-utilisation stats).
     busy_time: Nanos,
@@ -126,11 +136,30 @@ impl ChannelQueue {
             starts_at,
             completes_at,
         };
-        if self.inflight.is_empty() || completes_at < self.earliest_completion {
-            self.earliest_completion = completes_at;
+        self.earliest_completion = self.earliest_completion.min(completes_at);
+        let seq = self.seq;
+        self.seq += 1;
+        match kind {
+            FlashCommandKind::Read => self.inflight_reads.push_back((seq, cmd)),
+            FlashCommandKind::Program | FlashCommandKind::Erase => {
+                self.inflight_writes.push_back((seq, cmd))
+            }
         }
-        self.inflight.push_back(cmd);
         cmd
+    }
+
+    /// Earliest completion among the in-flight queues (`Nanos::MAX` when
+    /// idle). Both queues are completion-monotone, so only the fronts matter.
+    fn next_completion(&self) -> Nanos {
+        let r = self
+            .inflight_reads
+            .front()
+            .map_or(Nanos::MAX, |&(_, c)| c.completes_at);
+        let w = self
+            .inflight_writes
+            .front()
+            .map_or(Nanos::MAX, |&(_, c)| c.completes_at);
+        r.min(w)
     }
 
     /// Retires every command that has completed by `now`, updating the queue
@@ -140,31 +169,44 @@ impl ChannelQueue {
     /// monotone in submission order; every completed command is retired, not
     /// just a completed prefix.
     pub fn retire_completed(&mut self, now: Nanos) -> Vec<FlashCommand> {
-        // Fast path: this runs on every SSD access; skip the scan when the
+        // Fast path: this runs on every SSD access; skip the pops when the
         // earliest outstanding completion is still in the future.
-        if self.inflight.is_empty() || now < self.earliest_completion {
+        if now < self.earliest_completion {
             return Vec::new();
         }
+        // Both queues are completion-monotone, so every completed command sits
+        // at a front; merging the fronts by (completion, submission seq)
+        // reproduces the completion order a stable sort over one combined
+        // submission-ordered queue would give.
         let mut done = Vec::new();
-        let mut earliest = Nanos::MAX;
-        self.inflight.retain(|cmd| {
-            if cmd.completes_at <= now {
-                done.push(*cmd);
-                false
+        loop {
+            let r = self
+                .inflight_reads
+                .front()
+                .filter(|&&(_, c)| c.completes_at <= now);
+            let w = self
+                .inflight_writes
+                .front()
+                .filter(|&&(_, c)| c.completes_at <= now);
+            let take_read = match (r, w) {
+                (Some(&(rs, rc)), Some(&(ws, wc))) => (rc.completes_at, rs) < (wc.completes_at, ws),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (_, cmd) = if take_read {
+                self.inflight_reads.pop_front().expect("front checked")
             } else {
-                earliest = earliest.min(cmd.completes_at);
-                true
-            }
-        });
-        self.earliest_completion = earliest;
-        for cmd in &done {
+                self.inflight_writes.pop_front().expect("front checked")
+            };
             match cmd.kind {
                 FlashCommandKind::Read => self.counters.reads -= 1,
                 FlashCommandKind::Program => self.counters.writes -= 1,
                 FlashCommandKind::Erase => self.counters.erases -= 1,
             }
+            done.push(cmd);
         }
-        done.sort_by_key(|cmd| cmd.completes_at);
+        self.earliest_completion = self.next_completion();
         done
     }
 
@@ -175,7 +217,7 @@ impl ChannelQueue {
 
     /// Number of commands still queued or in service.
     pub fn depth(&self) -> usize {
-        self.inflight.len()
+        self.inflight_reads.len() + self.inflight_writes.len()
     }
 
     /// Time at which the channel becomes idle given everything submitted so
@@ -207,7 +249,7 @@ impl ChannelQueue {
 
     /// Whether no commands are outstanding.
     pub fn is_idle(&self) -> bool {
-        self.inflight.is_empty()
+        self.inflight_reads.is_empty() && self.inflight_writes.is_empty()
     }
 }
 

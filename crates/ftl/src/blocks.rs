@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use skybyte_types::{Lpa, Ppa, SsdGeometry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A linear index identifying one erase block in the flash array.
 #[derive(
@@ -37,9 +37,11 @@ struct BlockInfo {
     write_ptr: u32,
     /// Number of pages in this block that hold live (mapped) data.
     valid_pages: u32,
-    /// Reverse map: page offset within the block -> logical page stored there.
-    /// Entries are removed when the logical page is overwritten elsewhere.
-    contents: HashMap<u32, Lpa>,
+    /// Reverse map: page offset within the block -> logical page stored
+    /// there, `None` once the logical page is overwritten elsewhere. Pages
+    /// are programmed sequentially, so the vector's length always equals
+    /// `write_ptr` and lookups are direct indexing instead of hashing.
+    contents: Vec<Option<Lpa>>,
     /// Number of times this block has been erased (wear).
     erase_count: u32,
 }
@@ -50,7 +52,7 @@ impl BlockInfo {
             state: BlockState::Free,
             write_ptr: 0,
             valid_pages: 0,
-            contents: HashMap::new(),
+            contents: Vec::new(),
             erase_count: 0,
         }
     }
@@ -193,7 +195,8 @@ impl BlockManager {
         let page = info.write_ptr;
         info.write_ptr += 1;
         info.valid_pages += 1;
-        info.contents.insert(page, lpa);
+        debug_assert_eq!(info.contents.len() as u32, page);
+        info.contents.push(Some(lpa));
         if info.write_ptr >= pages_per_block {
             info.state = BlockState::Full;
             self.open_blocks[channel] = None;
@@ -206,8 +209,10 @@ impl BlockManager {
     pub fn invalidate(&mut self, ppa: Ppa) {
         let blk = self.block_of_ppa(ppa);
         let info = &mut self.blocks[blk.0 as usize];
-        if info.contents.remove(&ppa.page).is_some() {
-            info.valid_pages = info.valid_pages.saturating_sub(1);
+        if let Some(slot) = info.contents.get_mut(ppa.page as usize) {
+            if slot.take().is_some() {
+                info.valid_pages = info.valid_pages.saturating_sub(1);
+            }
         }
     }
 
@@ -229,13 +234,12 @@ impl BlockManager {
     /// The live logical pages stored in a block, as `(page_offset, lpa)`
     /// pairs, sorted by page offset. Used by GC to relocate victims.
     pub fn live_contents(&self, block: BlockId) -> Vec<(u32, Lpa)> {
-        let mut v: Vec<(u32, Lpa)> = self.blocks[block.0 as usize]
+        self.blocks[block.0 as usize]
             .contents
             .iter()
-            .map(|(&p, &l)| (p, l))
-            .collect();
-        v.sort_unstable_by_key(|(p, _)| *p);
-        v
+            .enumerate()
+            .filter_map(|(p, l)| l.map(|l| (p as u32, l)))
+            .collect()
     }
 
     /// Chooses up to `count` GC victims: full blocks with the fewest valid

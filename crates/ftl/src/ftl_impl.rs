@@ -5,8 +5,7 @@ use crate::blocks::{BlockId, BlockManager};
 use crate::stats::FtlStats;
 use serde::{Deserialize, Serialize};
 use skybyte_flash::{FlashArray, FlashCommandKind};
-use skybyte_types::{Lpa, Nanos, Ppa, SsdConfig};
-use std::collections::HashMap;
+use skybyte_types::{FastHashMap, Lpa, Nanos, Ppa, SsdConfig};
 
 /// Result of a host page write issued through the FTL.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +34,7 @@ pub struct GcReport {
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ftl {
-    mapping: HashMap<Lpa, Ppa>,
+    mapping: FastHashMap<Lpa, Ppa>,
     blocks: BlockManager,
     channels: u64,
     gc_threshold: f64,
@@ -48,7 +47,7 @@ impl Ftl {
     /// Creates an FTL for the given SSD configuration with an empty mapping.
     pub fn new(cfg: &SsdConfig) -> Self {
         Ftl {
-            mapping: HashMap::new(),
+            mapping: FastHashMap::default(),
             blocks: BlockManager::new(cfg.geometry),
             channels: cfg.geometry.channels as u64,
             gc_threshold: cfg.gc_threshold,

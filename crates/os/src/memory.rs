@@ -7,8 +7,8 @@
 //! its host frame (§III-C).
 
 use serde::{Deserialize, Serialize};
-use skybyte_types::{Lpa, PageNumber, PAGE_SIZE};
-use std::collections::{HashMap, VecDeque};
+use skybyte_types::{FastHashMap, Lpa, PageNumber, PAGE_SIZE};
+use std::collections::VecDeque;
 
 /// Result of asking the pool to make room for a new promotion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,7 +28,7 @@ pub struct HostMemoryPool {
     next_frame: u64,
     free_frames: Vec<PageNumber>,
     /// Promoted pages: SSD LPA → host frame.
-    resident: HashMap<Lpa, PageNumber>,
+    resident: FastHashMap<Lpa, PageNumber>,
     /// Recently-used promoted pages (most recent at the back).
     active: VecDeque<Lpa>,
     /// Not recently used pages, candidates for eviction (oldest at front).
@@ -44,7 +44,7 @@ impl HostMemoryPool {
             capacity_pages: capacity_bytes / PAGE_SIZE as u64,
             next_frame: 0,
             free_frames: Vec::new(),
-            resident: HashMap::new(),
+            resident: FastHashMap::default(),
             active: VecDeque::new(),
             inactive: VecDeque::new(),
             promotions: 0,

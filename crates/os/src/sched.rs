@@ -12,7 +12,8 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 use skybyte_types::{Nanos, SchedPolicy};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Scheduler activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +36,15 @@ pub struct Scheduler {
     rng: ChaCha12Rng,
     rr_counter: u64,
     stats: SchedStats,
+    // Pending wake-ups of blocked threads, keyed `(until, thread index)`.
+    // Exact by construction: a thread enters `Blocked` only through
+    // `yield_current` (one heap push) and leaves it only through
+    // `unblock_expired` (one pop) or `finish_thread` (which purges its
+    // entry), so the heap top IS the next wake-up — no polling scan.
+    wakeups: BinaryHeap<Reverse<(Nanos, u32)>>,
+    // Reusable drain buffer for `unblock_expired`; kept on the struct so the
+    // hot path does not allocate per call.
+    expired_scratch: Vec<u32>,
 }
 
 impl Scheduler {
@@ -49,6 +59,8 @@ impl Scheduler {
             rng: ChaCha12Rng::seed_from_u64(seed),
             rr_counter: 0,
             stats: SchedStats::default(),
+            wakeups: BinaryHeap::new(),
+            expired_scratch: Vec::new(),
         }
     }
 
@@ -102,28 +114,39 @@ impl Scheduler {
     }
 
     /// Makes blocked threads whose wake-up time has passed runnable again.
+    ///
+    /// Fires on the wake-up heap rather than scanning every thread: O(1)
+    /// when nothing expired. Expired threads are made runnable in thread
+    /// index order, preserving the rotation sequence the old full scan
+    /// assigned.
     pub fn unblock_expired(&mut self, now: Nanos) {
-        for t in &mut self.threads {
-            if let ThreadState::Blocked { until, .. } = t.state {
-                if until <= now {
-                    t.state = ThreadState::Runnable;
-                    self.rr_counter += 1;
-                    t.rr_seq = self.rr_counter;
-                }
-            }
+        if !matches!(self.wakeups.peek(), Some(&Reverse((until, _))) if until <= now) {
+            return;
         }
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        while let Some(&Reverse((until, idx))) = self.wakeups.peek() {
+            if until > now {
+                break;
+            }
+            self.wakeups.pop();
+            expired.push(idx);
+        }
+        expired.sort_unstable();
+        for idx in expired.iter().copied() {
+            let t = &mut self.threads[idx as usize];
+            debug_assert!(matches!(t.state, ThreadState::Blocked { .. }));
+            t.state = ThreadState::Runnable;
+            self.rr_counter += 1;
+            t.rr_seq = self.rr_counter;
+        }
+        self.expired_scratch = expired;
     }
 
     /// Earliest wake-up time among blocked threads, if any (used by idle
-    /// cores to decide how long to sleep).
+    /// cores to decide how long to sleep). O(1): the wake-up heap's top.
     pub fn next_wakeup(&self) -> Option<Nanos> {
-        self.threads
-            .iter()
-            .filter_map(|t| match t.state {
-                ThreadState::Blocked { until, .. } => Some(until),
-                _ => None,
-            })
-            .min()
+        self.wakeups.peek().map(|&Reverse((until, _))| until)
     }
 
     /// Picks the next thread to run on `core` according to the policy and
@@ -189,6 +212,7 @@ impl Scheduler {
                 reason,
                 until: wake_at,
             };
+            self.wakeups.push(Reverse((wake_at, id.0)));
         } else {
             t.state = ThreadState::Runnable;
             self.rr_counter += 1;
@@ -207,10 +231,31 @@ impl Scheduler {
 
     /// Marks a thread as finished and frees its core if it was running.
     pub fn finish_thread(&mut self, id: ThreadId) {
-        if let ThreadState::Running { core } = self.threads[id.0 as usize].state {
-            self.running.remove(&core);
+        match self.threads[id.0 as usize].state {
+            ThreadState::Running { core } => {
+                self.running.remove(&core);
+            }
+            // Finishing a blocked thread (not something the engine does, but
+            // the API allows it) must not leave a stale wake-up behind:
+            // cold path, so an O(n) heap rebuild is fine.
+            ThreadState::Blocked { .. } => {
+                let keep: Vec<_> = self
+                    .wakeups
+                    .drain()
+                    .filter(|&Reverse((_, idx))| idx != id.0)
+                    .collect();
+                self.wakeups = BinaryHeap::from(keep);
+            }
+            _ => {}
         }
         self.threads[id.0 as usize].state = ThreadState::Finished;
+    }
+
+    /// Records `n` idle picks without going through a schedule call — used
+    /// by the event-driven engine when it coalesces a parked core's pending
+    /// 1 µs idle iterations into one batched advance.
+    pub fn record_idle_picks(&mut self, n: u64) {
+        self.stats.idle_picks += n;
     }
 
     /// Scheduler statistics.
@@ -218,32 +263,45 @@ impl Scheduler {
         &self.stats
     }
 
+    // Picks among runnable threads satisfying `allow` without materialising
+    // the candidate set: one (for Random, two) iterator pass(es) over the
+    // thread table, no per-call allocation. `allow` must be pure — the
+    // Random policy evaluates it once per thread per pass.
     fn pick_next(&mut self, allow: &mut dyn FnMut(ThreadId) -> bool) -> Option<ThreadId> {
-        let runnable: Vec<usize> = self
-            .threads
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.is_runnable() && allow(t.id))
-            .map(|(i, _)| i)
-            .collect();
-        if runnable.is_empty() {
-            return None;
-        }
-        let chosen = match self.policy {
-            SchedPolicy::RoundRobin => runnable
-                .into_iter()
-                .min_by_key(|&i| self.threads[i].rr_seq)
-                .expect("nonempty"),
+        match self.policy {
+            // `min_by_key` keeps the first minimum, i.e. the lowest thread
+            // index on equal keys — same tie-break as the old indexed scan.
+            SchedPolicy::RoundRobin => self
+                .threads
+                .iter()
+                .filter(|t| t.is_runnable() && allow(t.id))
+                .min_by_key(|t| t.rr_seq)
+                .map(|t| t.id),
             SchedPolicy::Random => {
-                let idx = self.rng.gen_range(0..runnable.len());
-                runnable[idx]
+                let count = self
+                    .threads
+                    .iter()
+                    .filter(|t| t.is_runnable() && allow(t.id))
+                    .count();
+                if count == 0 {
+                    // The RNG must stay untouched on an empty pick so the
+                    // random stream matches the collected-Vec original.
+                    return None;
+                }
+                let idx = self.rng.gen_range(0..count);
+                self.threads
+                    .iter()
+                    .filter(|t| t.is_runnable() && allow(t.id))
+                    .nth(idx)
+                    .map(|t| t.id)
             }
-            SchedPolicy::Cfs => runnable
-                .into_iter()
-                .min_by_key(|&i| (self.threads[i].vruntime, self.threads[i].id.0))
-                .expect("nonempty"),
-        };
-        Some(self.threads[chosen].id)
+            SchedPolicy::Cfs => self
+                .threads
+                .iter()
+                .filter(|t| t.is_runnable() && allow(t.id))
+                .min_by_key(|t| (t.vruntime, t.id.0))
+                .map(|t| t.id),
+        }
     }
 }
 

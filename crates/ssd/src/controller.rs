@@ -7,8 +7,7 @@ use crate::trigger::ThresholdPolicy;
 use skybyte_cache::{DataCache, DataCacheStats, WriteLog, WriteLogStats};
 use skybyte_flash::{FlashArray, FlashStats};
 use skybyte_ftl::{Ftl, FtlStats};
-use skybyte_types::{CachelineIndex, Lpa, Nanos, SimConfig};
-use std::collections::HashMap;
+use skybyte_types::{CachelineIndex, FastHashMap, Lpa, Nanos, SimConfig};
 
 /// Result of one cacheline access handled by the SSD controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +54,12 @@ pub struct SsdController {
     logical_pages: u64,
 
     /// Page fetches currently in flight: LPA → time the page lands in DRAM.
-    inflight_fills: HashMap<Lpa, Nanos>,
+    inflight_fills: FastHashMap<Lpa, Nanos>,
+    /// Lower bound on the earliest completion in `inflight_fills`
+    /// (`Nanos::MAX` when empty). Lets `lazy_tick` skip the retire scan when
+    /// no fill can have completed yet; a stale-low bound only costs a no-op
+    /// scan, never a missed retirement.
+    earliest_fill_done: Nanos,
     /// Time at which the currently running log compaction finishes.
     compaction_active_until: Nanos,
     /// Monotonic version counter used as the write-log payload token.
@@ -112,7 +116,8 @@ impl SsdController {
             cache_index_latency: ssd.dram.data_cache_index_latency,
             mshr_capacity: ssd.dram.mshrs as usize,
             logical_pages,
-            inflight_fills: HashMap::new(),
+            inflight_fills: FastHashMap::default(),
+            earliest_fill_done: Nanos::MAX,
             compaction_active_until: Nanos::ZERO,
             write_token: 0,
             stats: SsdStats::default(),
@@ -520,7 +525,15 @@ impl SsdController {
     /// flash commands and recycle finished compactions / page fills.
     fn lazy_tick(&mut self, now: Nanos) {
         self.flash.retire_completed(now);
-        self.inflight_fills.retain(|_, ready| *ready > now);
+        if self.earliest_fill_done <= now {
+            self.inflight_fills.retain(|_, ready| *ready > now);
+            self.earliest_fill_done = self
+                .inflight_fills
+                .values()
+                .min()
+                .copied()
+                .unwrap_or(Nanos::MAX);
+        }
         if self.compaction_active_until <= now {
             if let Some(log) = &mut self.write_log {
                 if log.compaction_in_progress() {
@@ -552,6 +565,7 @@ impl SsdController {
             .read_page(lpa, start, &mut self.flash)
             .unwrap_or(start);
         self.inflight_fills.insert(lpa, ready);
+        self.earliest_fill_done = self.earliest_fill_done.min(ready);
         ready
     }
 
@@ -594,6 +608,7 @@ impl SsdController {
         }
         if let Some(ready) = self.ftl.read_page(next, at, &mut self.flash) {
             self.inflight_fills.insert(next, ready);
+            self.earliest_fill_done = self.earliest_fill_done.min(ready);
             self.insert_page_into_cache(next, ready);
             self.stats.prefetches += 1;
         }

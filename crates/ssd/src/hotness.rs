@@ -28,9 +28,9 @@
 
 use serde::{Deserialize, Serialize};
 use skybyte_types::policy::HotnessPolicyKind;
-use skybyte_types::Lpa;
+use skybyte_types::{FastHashMap, FastHashSet, Lpa};
 use std::cmp::Reverse;
-use std::collections::{HashMap, HashSet};
+
 use std::fmt;
 
 /// Recorded accesses between two count-halving rounds of [`DecayTracker`].
@@ -87,10 +87,10 @@ pub trait HotnessPolicy: fmt::Debug {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HotPageTracker {
     threshold: u32,
-    counts: HashMap<Lpa, u32>,
+    counts: FastHashMap<Lpa, u32>,
     /// Pages that crossed the threshold and have not been taken yet.
     candidates: Vec<Lpa>,
-    promoted: HashSet<Lpa>,
+    promoted: FastHashSet<Lpa>,
 }
 
 impl HotPageTracker {
@@ -103,9 +103,9 @@ impl HotPageTracker {
         assert!(threshold > 0, "hotness threshold must be at least 1");
         HotPageTracker {
             threshold,
-            counts: HashMap::new(),
+            counts: FastHashMap::default(),
             candidates: Vec::new(),
-            promoted: HashSet::new(),
+            promoted: FastHashSet::default(),
         }
     }
 }
@@ -181,9 +181,9 @@ impl HotnessPolicy for HotPageTracker {
 pub struct DecayTracker {
     threshold: u32,
     since_decay: u32,
-    counts: HashMap<Lpa, u32>,
+    counts: FastHashMap<Lpa, u32>,
     candidates: Vec<Lpa>,
-    promoted: HashSet<Lpa>,
+    promoted: FastHashSet<Lpa>,
 }
 
 impl DecayTracker {
@@ -198,9 +198,9 @@ impl DecayTracker {
         DecayTracker {
             threshold,
             since_decay: 0,
-            counts: HashMap::new(),
+            counts: FastHashMap::default(),
             candidates: Vec::new(),
-            promoted: HashSet::new(),
+            promoted: FastHashSet::default(),
         }
     }
 
@@ -287,9 +287,9 @@ impl HotnessPolicy for DecayTracker {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TopKTracker {
     in_window: u32,
-    counts: HashMap<Lpa, u32>,
+    counts: FastHashMap<Lpa, u32>,
     candidates: Vec<Lpa>,
-    promoted: HashSet<Lpa>,
+    promoted: FastHashSet<Lpa>,
 }
 
 impl TopKTracker {
@@ -297,9 +297,9 @@ impl TopKTracker {
     pub fn new() -> Self {
         TopKTracker {
             in_window: 0,
-            counts: HashMap::new(),
+            counts: FastHashMap::default(),
             candidates: Vec::new(),
-            promoted: HashSet::new(),
+            promoted: FastHashSet::default(),
         }
     }
 

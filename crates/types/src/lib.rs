@@ -40,6 +40,7 @@ pub mod addr;
 pub mod audit;
 pub mod config;
 pub mod error;
+pub mod fasthash;
 pub mod policy;
 pub mod stats;
 pub mod tenant;
@@ -59,6 +60,7 @@ pub mod prelude {
         SsdDramConfig, SsdGeometry, TlbConfig, VariantKind,
     };
     pub use crate::error::ConfigError;
+    pub use crate::fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
     pub use crate::policy::{
         apply_policy_name, AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind,
         PolicyConfig, PolicyOverride, TenantSchedKind,
@@ -80,6 +82,7 @@ pub use config::{
     SsdDramConfig, SsdGeometry, TlbConfig, VariantKind, GIB, KIB, MIB,
 };
 pub use error::ConfigError;
+pub use fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
 pub use policy::{
     apply_policy_name, AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind, PolicyConfig,
     PolicyOverride, TenantSchedKind,

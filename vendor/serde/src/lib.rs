@@ -17,7 +17,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -370,13 +370,13 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
     }
 }
 
-impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for HashSet<T, S> {
     fn serialize(&self) -> Value {
         serialize_seq(self.iter())
     }
 }
 
-impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
     fn deserialize(value: &Value) -> Result<Self, Error> {
         deserialize_seq(value)
             .map(Vec::into_iter)
@@ -413,13 +413,15 @@ fn deserialize_map<K: Deserialize, V: Deserialize>(value: &Value) -> Result<Vec<
     }
 }
 
-impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+impl<K: Serialize + Eq + Hash, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
     fn serialize(&self) -> Value {
         serialize_map(self.iter())
     }
 }
 
-impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
     fn deserialize(value: &Value) -> Result<Self, Error> {
         deserialize_map(value)
             .map(Vec::into_iter)
