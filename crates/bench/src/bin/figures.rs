@@ -25,8 +25,8 @@
 
 use skybyte_bench::{figures_scale, harness_runner};
 use skybyte_sim::report::{figure_table_named, paper_table, render, DATA_FIGURES};
-use skybyte_sim::{ExperimentScale, TraceDrive};
-use skybyte_types::PolicyOverride;
+use skybyte_sim::{chrome_trace_json, metrics_csv, ExperimentScale, TraceDrive};
+use skybyte_types::{Nanos, PolicyOverride, TelemetryConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -47,6 +47,15 @@ struct Options {
     /// Policy names applied to every simulation (`--policy <name>`,
     /// repeatable), resolved through the unified registry.
     policies: Vec<PolicyOverride>,
+    /// Write the merged telemetry time series of every executed run as CSV
+    /// (`--metrics PATH`).
+    metrics: Option<PathBuf>,
+    /// Write the merged Chrome trace-event timeline of every executed run
+    /// (`--timeline PATH`).
+    timeline: Option<PathBuf>,
+    /// Telemetry sampling cadence in microseconds of simulated time
+    /// (`--sample-us N`, default 10).
+    sample_us: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -61,6 +70,9 @@ fn parse_args() -> Result<Options, String> {
         audit: false,
         perf: None,
         policies: Vec::new(),
+        metrics: None,
+        timeline: None,
+        sample_us: 10,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -136,6 +148,28 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--audit" => opts.audit = true,
+            "--metrics" => {
+                i += 1;
+                let path = args.get(i).ok_or("--metrics requires a path")?;
+                opts.metrics = Some(PathBuf::from(path));
+            }
+            "--timeline" => {
+                i += 1;
+                let path = args.get(i).ok_or("--timeline requires a path")?;
+                opts.timeline = Some(PathBuf::from(path));
+            }
+            "--sample-us" => {
+                i += 1;
+                let us = args
+                    .get(i)
+                    .ok_or("--sample-us requires a number")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("invalid sample interval: {e}"))?;
+                if us == 0 {
+                    return Err("--sample-us must be at least 1".to_string());
+                }
+                opts.sample_us = us;
+            }
             "--perf" => {
                 // An optional path may follow; anything starting with `--`
                 // is the next flag, not a path.
@@ -167,6 +201,12 @@ fn parse_args() -> Result<Options, String> {
                      \u{20}                  simulation and fail on any violated invariant\n\
                      --perf [PATH]      write a machine-readable engine-throughput report\n\
                      \u{20}                  (per-run wall clock + accesses/sec; default perf.json)\n\
+                     --metrics PATH     write the telemetry time series of every executed\n\
+                     \u{20}                  simulation as one merged CSV (observe-only)\n\
+                     --timeline PATH    write a merged Chrome trace-event timeline of every\n\
+                     \u{20}                  executed simulation (open in Perfetto)\n\
+                     --sample-us N      telemetry sampling cadence in simulated microseconds\n\
+                     \u{20}                  (default 10)\n\
                      (see the `trace` binary for standalone record/replay/stat/mix)"
                 );
                 std::process::exit(0);
@@ -255,10 +295,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let telemetry = TelemetryConfig {
+        enabled: opts.metrics.is_some() || opts.timeline.is_some(),
+        sample_interval: Nanos::from_micros(opts.sample_us),
+        timeline: opts.timeline.is_some(),
+    };
     let runner = harness_runner(opts.jobs)
         .with_drive(opts.drive.clone())
         .with_policy_overrides(opts.policies.clone())
-        .with_audit(opts.audit);
+        .with_audit(opts.audit)
+        .with_telemetry(telemetry);
     // Harness panics (a missing trace under --replay-dir, an invalid figure
     // number) should read as CLI errors, not backtraces: silence the hook,
     // catch the unwind, and report the payload on the binary's error path.
@@ -299,6 +345,44 @@ fn main() -> ExitCode {
             dir.display()
         );
     }
+    if telemetry.enabled {
+        let outputs = runner.telemetry_outputs();
+        if let Some(path) = &opts.metrics {
+            let csv = metrics_csv(
+                outputs
+                    .iter()
+                    .map(|(label, o)| (label.as_str(), &o.metrics)),
+            );
+            if let Err(e) = std::fs::write(path, csv) {
+                eprintln!("error: cannot write --metrics CSV {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[figures] metrics: {} run(s) sampled into {}",
+                outputs.len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &opts.timeline {
+            let json = chrome_trace_json(
+                outputs
+                    .iter()
+                    .map(|(label, o)| (label.as_str(), &o.timeline)),
+            );
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!(
+                    "error: cannot write --timeline JSON {}: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[figures] timeline: {} run(s) written to {} (open in Perfetto)",
+                outputs.len(),
+                path.display()
+            );
+        }
+    }
     if let Some(path) = &opts.perf {
         let report = skybyte_sim::PerfReport::from_runner(&runner);
         match serde_json::to_string_pretty(&report) {
@@ -307,13 +391,28 @@ fn main() -> ExitCode {
                     eprintln!("error: cannot write --perf report {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
+                for run in &report.runs {
+                    eprintln!(
+                        "[figures] perf: {}/{} — {:.3}s wall, {} work units \
+                         ({:.0} accesses/sec), p50/p99/p999 {}/{}/{} ns",
+                        run.variant,
+                        run.workload,
+                        run.wall_nanos as f64 / 1e9,
+                        run.work_units,
+                        run.units_per_sec,
+                        run.p50_ns,
+                        run.p99_ns,
+                        run.p999_ns
+                    );
+                }
                 eprintln!(
                     "[figures] perf: {} work units in {:.3}s wall ({:.0} accesses/sec \
-                     aggregate) across {} run(s); report written to {}",
+                     aggregate) across {} run(s), {} memo hit(s); report written to {}",
                     report.total_work_units,
                     report.total_wall_nanos as f64 / 1e9,
                     report.aggregate_units_per_sec,
                     report.runs.len(),
+                    runner.memo_hits(),
                     path.display()
                 );
             }

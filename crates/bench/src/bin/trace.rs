@@ -19,12 +19,14 @@
 //! and looping.
 
 use skybyte_bench::{figures_scale, variant_from_name};
-use skybyte_sim::{ExperimentScale, PerfReport, RunTiming, SimResult, Simulation};
+use skybyte_sim::{
+    chrome_trace_json, metrics_csv, ExperimentScale, PerfReport, RunTiming, SimResult, Simulation,
+};
 use skybyte_trace::{
     record_to_file, BoxedSource, Concat, LoopN, Mix, Shift, TraceFileSource, TraceHeader,
     TraceReader, TraceSource, TraceStats, TraceWriter,
 };
-use skybyte_types::{PolicyOverride, SimConfig, VariantKind};
+use skybyte_types::{Nanos, PolicyOverride, SimConfig, TelemetryConfig, VariantKind};
 use skybyte_workloads::{WorkloadKind, WorkloadSource};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -37,6 +39,7 @@ const USAGE: &str = "usage: trace <record|replay|stat|mix|verify-corpus> [option
 
   replay --trace FILE [--variant NAME] [--workload NAME] [--scale ...]
          [--policy NAME]... [--perf [PATH]]
+         [--metrics PATH] [--timeline PATH] [--sample-us N]
       Run a full simulation driven by FILE and print its metrics. The
       trace defines footprint, thread count and the amount of work; the
       scale defines the device. The workload label defaults to the one
@@ -45,6 +48,11 @@ const USAGE: &str = "usage: trace <record|replay|stat|mix|verify-corpus> [option
       topk, fair-share, tpp, rr — same name registry as `figures`).
       --perf additionally writes a machine-readable engine-throughput
       report (wall clock + accesses/sec; default PATH: perf.json).
+      --metrics samples telemetry every --sample-us microseconds of
+      simulated time (default 10) into a CSV time series; --timeline
+      writes a Chrome trace-event JSON timeline (load it in Perfetto).
+      Telemetry is observe-only: the simulation result is bit-identical
+      with or without it.
 
   stat --trace FILE
       Stream the trace once and print footprint / write ratio / per-page
@@ -213,10 +221,22 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let mut scale = ExperimentScale::tiny();
     let mut policies: Vec<PolicyOverride> = Vec::new();
     let mut perf: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut timeline: Option<PathBuf> = None;
+    let mut sample_us: u64 = 10;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trace" => trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
+            "--metrics" => metrics = Some(PathBuf::from(value(args, &mut i, "--metrics")?)),
+            "--timeline" => timeline = Some(PathBuf::from(value(args, &mut i, "--timeline")?)),
+            "--sample-us" => {
+                let us = parse_u64(value(args, &mut i, "--sample-us")?, "sample interval")?;
+                if us == 0 {
+                    return Err("--sample-us must be at least 1".into());
+                }
+                sample_us = us;
+            }
             "--perf" => {
                 // An optional path may follow; anything starting with `--`
                 // is the next flag, not a path.
@@ -259,12 +279,42 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     // The trace defines the footprint and thread count; the scale defines
     // the simulated device around it (shared with the golden corpus via
     // `replay_trace_file`, capacity guard included).
+    let telemetry = TelemetryConfig {
+        enabled: metrics.is_some() || timeline.is_some(),
+        sample_interval: Nanos::from_micros(sample_us),
+        timeline: timeline.is_some(),
+    };
     let started = std::time::Instant::now();
-    let result =
-        skybyte_bench::replay_trace_file(&trace, &header, variant, workload, scale, &policies)?;
+    let (result, telemetry_out) = skybyte_bench::replay_trace_file_with_telemetry(
+        &trace, &header, variant, workload, scale, &policies, telemetry,
+    )?;
     let wall = started.elapsed();
     println!("replayed {} as {variant} ({workload})", trace.display());
     print_summary(&result);
+    if let Some(output) = &telemetry_out {
+        let label = format!("{variant}/{workload}");
+        if let Some(path) = &metrics {
+            let csv = metrics_csv([(label.as_str(), &output.metrics)]);
+            std::fs::write(path, csv)
+                .map_err(|e| format!("cannot write --metrics CSV {}: {e}", path.display()))?;
+            println!(
+                "metrics: {} samples written to {}",
+                output.metrics.samples.len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &timeline {
+            let tl = &output.timeline;
+            let json = chrome_trace_json([(label.as_str(), tl)]);
+            std::fs::write(path, json)
+                .map_err(|e| format!("cannot write --timeline JSON {}: {e}", path.display()))?;
+            println!(
+                "timeline: {} events written to {} (open in Perfetto / chrome://tracing)",
+                tl.events().len(),
+                path.display()
+            );
+        }
+    }
     if let Some(path) = perf {
         let work_units = result.requests.total() + result.squashed_accesses;
         let wall_nanos = wall.as_nanos() as u64;
@@ -282,6 +332,9 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
                 work_units,
                 simulated_nanos: result.exec_time.as_nanos(),
                 units_per_sec,
+                p50_ns: result.latency_hist.p50().as_nanos(),
+                p99_ns: result.latency_hist.p99().as_nanos(),
+                p999_ns: result.latency_hist.p999().as_nanos(),
             }],
             total_work_units: work_units,
             total_wall_nanos: wall_nanos,
@@ -313,6 +366,12 @@ fn print_summary(r: &SimResult) {
         r.requests.ssd_write
     );
     println!("amat                  {}", r.amat.amat());
+    println!(
+        "latency p50/p99/p999  {} / {} / {}",
+        r.latency_hist.p50(),
+        r.latency_hist.p99(),
+        r.latency_hist.p999()
+    );
     println!("context switches      {}", r.context_switches);
     println!("pages promoted        {}", r.pages_promoted);
     println!("flash pages programmed {}", r.flash_pages_programmed);

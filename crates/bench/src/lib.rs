@@ -22,9 +22,9 @@
 pub mod corpus;
 
 use skybyte_sim::runner::default_parallelism;
-use skybyte_sim::{ExperimentScale, Runner, SimResult, Simulation};
+use skybyte_sim::{ExperimentScale, Runner, SimResult, Simulation, TelemetryOutput};
 use skybyte_trace::TraceHeader;
-use skybyte_types::{PolicyOverride, SimConfig, VariantKind};
+use skybyte_types::{PolicyOverride, SimConfig, TelemetryConfig, VariantKind};
 use skybyte_workloads::WorkloadKind;
 use std::path::Path;
 
@@ -79,6 +79,32 @@ pub fn replay_trace_file(
     scale: ExperimentScale,
     policies: &[PolicyOverride],
 ) -> Result<SimResult, String> {
+    replay_trace_file_with_telemetry(
+        path,
+        header,
+        variant,
+        workload,
+        scale,
+        policies,
+        TelemetryConfig::default(),
+    )
+    .map(|(result, _)| result)
+}
+
+/// [`replay_trace_file`] with telemetry riding along: when
+/// `telemetry.enabled` the returned [`TelemetryOutput`] carries the sampled
+/// metrics and (optionally) the Chrome-trace timeline of the replay.
+/// Telemetry is observe-only, so the [`SimResult`] is bit-identical to the
+/// plain path — the golden corpus verifies against either.
+pub fn replay_trace_file_with_telemetry(
+    path: &Path,
+    header: &TraceHeader,
+    variant: VariantKind,
+    workload: WorkloadKind,
+    scale: ExperimentScale,
+    policies: &[PolicyOverride],
+    telemetry: TelemetryConfig,
+) -> Result<(SimResult, Option<TelemetryOutput>), String> {
     let scale = scale.with_footprint(header.footprint_bytes);
     if header.footprint_bytes.saturating_mul(2) > scale.flash_bytes() {
         return Err(format!(
@@ -95,8 +121,9 @@ pub fn replay_trace_file(
     for p in policies {
         p.apply(&mut cfg);
     }
+    cfg = cfg.with_telemetry(telemetry);
     Simulation::with_config(cfg, workload, &scale)
-        .run_trace_file(path)
+        .run_trace_file_with_telemetry(path)
         .map_err(|e| format!("replay failed: {e}"))
 }
 

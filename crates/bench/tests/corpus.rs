@@ -1,6 +1,9 @@
 //! Integration tests of the golden-trace regression corpus.
 
 use skybyte_bench::corpus::{entries, pin, pin_entries, verify, CORPUS_VARIANTS};
+use skybyte_sim::audit::audit_with_telemetry;
+use skybyte_sim::SimResult;
+use skybyte_types::{Nanos, TelemetryConfig};
 use std::path::PathBuf;
 
 fn scratch(tag: &str) -> PathBuf {
@@ -29,6 +32,39 @@ fn checked_in_corpus_verifies_clean() {
         "checked-in corpus diverged:\n{}",
         report.render_failures()
     );
+}
+
+#[test]
+fn corpus_replays_bit_identically_with_telemetry_enabled() {
+    // Telemetry is observe-only: replaying every corpus pair with the
+    // sampler and timeline enabled must still reproduce the pinned goldens
+    // field by field, and each run's final cumulative sample must tie to its
+    // layer counters (the `telemetry-final-agreement` invariant).
+    let corpus = repo_corpus();
+    let telemetry = TelemetryConfig {
+        enabled: true,
+        sample_interval: Nanos::from_micros(10),
+        timeline: true,
+    };
+    for entry in entries() {
+        for variant in CORPUS_VARIANTS {
+            let (result, output) = entry
+                .replay_with_telemetry(&corpus, variant, telemetry)
+                .expect("corpus replay with telemetry");
+            let output = output.expect("telemetry was enabled");
+            let golden_json = std::fs::read_to_string(entry.golden_path(&corpus, variant)).unwrap();
+            let golden: SimResult = serde_json::from_str(&golden_json).unwrap();
+            let diff = result.diff_fields(&golden);
+            assert!(
+                diff.is_empty(),
+                "{} under {variant}: telemetry perturbed the replay:\n{}",
+                entry.name,
+                diff.join("\n")
+            );
+            audit_with_telemetry(&result, Some(&output.final_sample))
+                .assert_clean(&format!("{} under {variant} with telemetry", entry.name));
+        }
+    }
 }
 
 #[test]

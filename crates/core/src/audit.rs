@@ -32,6 +32,7 @@
 //! | `compaction-count-agreement` | headline compaction count == controller counter |
 //! | `progress` | a run that classified requests took nonzero time |
 //! | `cxl-port-agreement` | link requests == `ssd_accesses`; link responses == classified SSD requests + migrations |
+//! | `telemetry-final-agreement` | the final cumulative telemetry sample matches the `layers` snapshot (only emitted when telemetry ran — see [`audit_with_telemetry`]) |
 //!
 //! When the result carries per-tenant counters (every run of the pipelined
 //! engine does), the per-tenant attribution is additionally tied to the
@@ -62,6 +63,7 @@
 
 use crate::engine::MIGRATION_PERIOD_ACCESSES;
 use crate::metrics::SimResult;
+use crate::telemetry::MetricsSample;
 use skybyte_types::{AuditReport, Nanos};
 
 /// Evaluates every conservation invariant against one run's result.
@@ -349,6 +351,74 @@ pub fn audit(r: &SimResult) -> AuditReport {
         audit_tenants(r, &mut a);
     }
 
+    a
+}
+
+/// [`audit`], additionally checking the `telemetry-final-agreement`
+/// invariant when a final cumulative telemetry sample is provided: the
+/// sampler's last row — taken at `exec_time` after the end-of-run flush —
+/// must agree with the result's own `layers` snapshot on every counter both
+/// sides carry. Pass `None` (or use plain [`audit`]) when telemetry was
+/// off; the invariant is then skipped, not vacuously satisfied.
+pub fn audit_with_telemetry(r: &SimResult, final_sample: Option<&MetricsSample>) -> AuditReport {
+    let mut a = audit(r);
+    let Some(s) = final_sample else {
+        return a;
+    };
+    let agrees = s.flash_pages_programmed == r.layers.flash.pages_programmed
+        && s.flash_pages_read == r.layers.flash.pages_read
+        && s.ssd_reads == r.layers.ssd.reads
+        && s.ssd_writes == r.layers.ssd.writes
+        && s.write_log_appends == r.layers.ssd.write_log_appends
+        && s.compactions == r.layers.ssd.compactions
+        && s.gc_campaigns == r.layers.ftl.gc_campaigns
+        && s.cxl_requests == r.layers.cxl.requests
+        && s.pages_promoted == r.layers.migration.promotions
+        && s.pages_demoted == r.layers.migration.demotions
+        && s.migration_runs == r.layers.migration.runs
+        && s.ssd_accesses == r.ssd_accesses
+        && s.squashed_accesses == r.squashed_accesses
+        && s.context_switches == r.context_switches
+        && s.time == r.exec_time;
+    a.check("telemetry-final-agreement", agrees, || {
+        format!(
+            "final telemetry sample at {} disagrees with the layers snapshot: \
+             flash prog {}/{} read {}/{}, ssd r {}/{} w {}/{}, log appends {}/{}, \
+             compactions {}/{}, gc {}/{}, cxl req {}/{}, promoted {}/{}, \
+             demoted {}/{}, migration runs {}/{}, accesses {}/{}, squashed {}/{}, \
+             ctx switches {}/{}, exec_time {}",
+            s.time,
+            s.flash_pages_programmed,
+            r.layers.flash.pages_programmed,
+            s.flash_pages_read,
+            r.layers.flash.pages_read,
+            s.ssd_reads,
+            r.layers.ssd.reads,
+            s.ssd_writes,
+            r.layers.ssd.writes,
+            s.write_log_appends,
+            r.layers.ssd.write_log_appends,
+            s.compactions,
+            r.layers.ssd.compactions,
+            s.gc_campaigns,
+            r.layers.ftl.gc_campaigns,
+            s.cxl_requests,
+            r.layers.cxl.requests,
+            s.pages_promoted,
+            r.layers.migration.promotions,
+            s.pages_demoted,
+            r.layers.migration.demotions,
+            s.migration_runs,
+            r.layers.migration.runs,
+            s.ssd_accesses,
+            r.ssd_accesses,
+            s.squashed_accesses,
+            r.squashed_accesses,
+            s.context_switches,
+            r.context_switches,
+            r.exec_time,
+        )
+    });
     a
 }
 

@@ -13,6 +13,7 @@
 use crate::metrics::SimResult;
 use crate::scale::ExperimentScale;
 use crate::system::SystemState;
+use crate::telemetry::TelemetryOutput;
 use skybyte_trace::{
     BoxedSource, Record, Shift, Tenants, TraceError, TraceFileSource, TraceHeader, TraceWriter,
 };
@@ -265,6 +266,16 @@ impl Simulation {
     ///
     /// Panics if the configuration is invalid.
     pub fn try_run(&self) -> Result<SimResult, TraceError> {
+        self.try_run_with_telemetry().map(|(result, _)| result)
+    }
+
+    /// [`try_run`](Self::try_run), additionally returning the telemetry
+    /// captured over the run — `Some` exactly when
+    /// `config().telemetry.enabled` is set. Telemetry is observe-only, so
+    /// the [`SimResult`] is bit-identical either way.
+    pub fn try_run_with_telemetry(
+        &self,
+    ) -> Result<(SimResult, Option<TelemetryOutput>), TraceError> {
         let budget = self.per_thread_budget();
         if !self.tenants.is_empty() {
             // Multi-tenant runs compose their source live; trace drives are
@@ -273,7 +284,7 @@ impl Simulation {
             return match &self.drive {
                 TraceDrive::Synthetic => {
                     let mut source = self.multi_source();
-                    Ok(self.run_loop(&mut source, budget))
+                    Ok(self.run_loop_full(&mut source, budget))
                 }
                 TraceDrive::Record { .. } | TraceDrive::Replay { .. } => {
                     Err(TraceError::Unsupported(
@@ -287,7 +298,7 @@ impl Simulation {
         match &self.drive {
             TraceDrive::Synthetic => {
                 let mut source = WorkloadSource::new(&spec, self.cfg.threads, self.scale.seed);
-                Ok(self.run_loop(&mut source, budget))
+                Ok(self.run_loop_full(&mut source, budget))
             }
             TraceDrive::Record { dir } => {
                 std::fs::create_dir_all(dir)?;
@@ -306,7 +317,7 @@ impl Simulation {
                 let tmp = dir.join(format!(".{name}.{}.tmp", next_record_token()));
                 let writer = TraceWriter::create(&tmp, &header)?;
                 let mut tee = Record::new(source, writer);
-                let result = self.run_loop(&mut tee, budget);
+                let result = self.run_loop_full(&mut tee, budget);
                 tee.finish()?;
                 std::fs::rename(&tmp, dir.join(&name))?;
                 Ok(result)
@@ -316,7 +327,7 @@ impl Simulation {
                 let mut source = TraceFileSource::open(&path)?;
                 self.check_stream_count(&source)?;
                 // The trace defines the work; the budget only caps it.
-                Ok(self.run_loop(&mut source, u64::MAX))
+                Ok(self.run_loop_full(&mut source, u64::MAX))
             }
         }
     }
@@ -338,9 +349,20 @@ impl Simulation {
     /// defining the amount of work. The configuration's thread count must
     /// match the trace's stream count.
     pub fn run_trace_file(&self, path: &Path) -> Result<SimResult, TraceError> {
+        self.run_trace_file_with_telemetry(path)
+            .map(|(result, _)| result)
+    }
+
+    /// [`run_trace_file`](Self::run_trace_file), additionally returning the
+    /// telemetry captured over the replay — `Some` exactly when
+    /// `config().telemetry.enabled` is set.
+    pub fn run_trace_file_with_telemetry(
+        &self,
+        path: &Path,
+    ) -> Result<(SimResult, Option<TelemetryOutput>), TraceError> {
         let mut source = TraceFileSource::open(path)?;
         self.check_stream_count(&source)?;
-        Ok(self.run_loop(&mut source, u64::MAX))
+        Ok(self.run_loop_full(&mut source, u64::MAX))
     }
 
     /// Runs the simulation driven by an arbitrary [`TraceSource`] whose
@@ -382,10 +404,20 @@ impl Simulation {
     /// Drives the [`SystemState`] access pipeline (`crate::system`) over
     /// `source` to completion and assembles the result.
     fn run_loop(&self, source: &mut dyn TraceSource, per_thread_budget: u64) -> SimResult {
+        self.run_loop_full(source, per_thread_budget).0
+    }
+
+    /// [`run_loop`](Self::run_loop), carrying the telemetry output (if
+    /// capture is enabled on the configuration) alongside the result.
+    fn run_loop_full(
+        &self,
+        source: &mut dyn TraceSource,
+        per_thread_budget: u64,
+    ) -> (SimResult, Option<TelemetryOutput>) {
         let (label, footprint_pages) = self.label_and_footprint_pages();
         let mut system = self.build_system(source, per_thread_budget, footprint_pages);
         system.run(source);
-        system.into_result(&label)
+        system.into_result_with_telemetry(&label)
     }
 
     /// Runs the synthetic workload through the legacy min-clock reference

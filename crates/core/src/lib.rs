@@ -46,6 +46,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod system;
+pub mod telemetry;
 pub mod tenant_sched;
 pub mod thread_exec;
 
@@ -60,5 +61,9 @@ pub use report::{figure_table, figure_table_named, paper_table, render_figure, r
 pub use runner::{PerfReport, RunRequest, RunTiming, Runner};
 pub use scale::ExperimentScale;
 pub use system::SystemState;
+pub use telemetry::{
+    chrome_trace_json, metrics_csv, MetricsLog, MetricsSample, Telemetry, TelemetryOutput,
+    Timeline, TimelineEvent,
+};
 pub use tenant_sched::{FairShareScheduler, PassthroughScheduler, TenantScheduler};
 pub use thread_exec::ThreadExecutor;

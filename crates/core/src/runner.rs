@@ -17,8 +17,9 @@
 use crate::engine::{Simulation, TraceDrive};
 use crate::metrics::SimResult;
 use crate::scale::ExperimentScale;
+use crate::telemetry::TelemetryOutput;
 use serde::Serialize;
-use skybyte_types::{PolicyOverride, SimConfig, VariantKind};
+use skybyte_types::{PolicyOverride, SimConfig, TelemetryConfig, VariantKind};
 use skybyte_workloads::WorkloadKind;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -89,6 +90,12 @@ pub struct RunTiming {
     pub simulated_nanos: u64,
     /// `work_units` per host wall-clock second — the engine's throughput.
     pub units_per_sec: f64,
+    /// Median simulated access latency of the run, in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile simulated access latency, in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile simulated access latency, in nanoseconds.
+    pub p999_ns: u64,
 }
 
 /// Machine-readable simulation-throughput report (the `--perf` flag of the
@@ -178,15 +185,29 @@ pub struct Runner {
     /// conservation audit ([`crate::audit`]) and violations are collected
     /// for [`Runner::audit_failures`] (the `figures --audit` hook).
     audit: bool,
+    /// Telemetry settings applied to every request this runner executes (the
+    /// `figures --metrics` / `--timeline` hook). Telemetry is observe-only
+    /// and its configuration is deliberately excluded from fingerprints, so
+    /// enabling it never splits the memo table — but memo hits recall a
+    /// cached [`SimResult`] without re-executing, so they contribute no
+    /// telemetry output.
+    telemetry: TelemetryConfig,
     state: Mutex<MemoState>,
     /// Signalled whenever a run completes, waking callers blocked on a
     /// fingerprint claimed by a concurrent `run_all`.
     finished: Condvar,
     runs_executed: AtomicU64,
     truncated_runs: AtomicU64,
+    /// Requests served across every `run_all` call (executions + memo
+    /// hits), so front ends can report how much work memoization saved.
+    requests_served: AtomicU64,
     audit_failures: Mutex<Vec<String>>,
     /// Wall-clock timing of every executed run, in execution order.
     timings: Mutex<Vec<RunTiming>>,
+    /// Telemetry captured from executed runs, keyed by fingerprint (the
+    /// deterministic sort key) with a human-readable `variant/workload`
+    /// label for export headers.
+    telemetry_outputs: Mutex<Vec<(String, String, TelemetryOutput)>>,
 }
 
 /// Memoized results plus the fingerprints currently being simulated, so that
@@ -205,12 +226,15 @@ impl Runner {
             drive: TraceDrive::Synthetic,
             policies: Vec::new(),
             audit: false,
+            telemetry: TelemetryConfig::default(),
             state: Mutex::new(MemoState::default()),
             finished: Condvar::new(),
             runs_executed: AtomicU64::new(0),
             truncated_runs: AtomicU64::new(0),
+            requests_served: AtomicU64::new(0),
             audit_failures: Mutex::new(Vec::new()),
             timings: Mutex::new(Vec::new()),
+            telemetry_outputs: Mutex::new(Vec::new()),
         }
     }
 
@@ -253,6 +277,41 @@ impl Runner {
         self.audit
     }
 
+    /// Returns this runner with `telemetry` applied to every request it
+    /// executes — the `figures --metrics` / `--timeline` hook. Telemetry is
+    /// observe-only (results stay bit-identical) and excluded from
+    /// fingerprints, so it never perturbs or splits the memo table; captured
+    /// outputs are available from
+    /// [`telemetry_outputs`](Self::telemetry_outputs).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry settings applied to this runner's executed requests.
+    pub fn telemetry(&self) -> TelemetryConfig {
+        self.telemetry
+    }
+
+    /// Telemetry captured from every *executed* run so far, as
+    /// `(label, output)` pairs sorted by the runs' fingerprints. The sort
+    /// makes the collection independent of worker-pool scheduling, so
+    /// exports rendered from it are byte-identical across `--jobs` values.
+    /// Memo hits recall cached results without re-executing and therefore
+    /// contribute no entries.
+    pub fn telemetry_outputs(&self) -> Vec<(String, TelemetryOutput)> {
+        let mut outputs = self
+            .telemetry_outputs
+            .lock()
+            .expect("telemetry log poisoned")
+            .clone();
+        outputs.sort_by(|a, b| a.0.cmp(&b.0));
+        outputs
+            .into_iter()
+            .map(|(_, label, output)| (label, output))
+            .collect()
+    }
+
     /// The audit violations collected so far: one rendered report per failed
     /// run, prefixed with the run's fingerprint. Empty when auditing is
     /// disabled or every run conserved.
@@ -278,6 +337,15 @@ impl Runner {
     /// baselines are simulated exactly once.
     pub fn runs_executed(&self) -> u64 {
         self.runs_executed.load(Ordering::Relaxed)
+    }
+
+    /// How many requests were answered from the memo table instead of being
+    /// simulated: requests served so far minus simulations executed.
+    /// Duplicate fingerprints within one batch count as hits too.
+    pub fn memo_hits(&self) -> u64 {
+        self.requests_served
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.runs_executed())
     }
 
     /// How many executed simulations hit the engine's step limit (their
@@ -387,6 +455,8 @@ impl Runner {
         }
         // Collect in request order, waiting out any fingerprints a
         // concurrent caller claimed before we could.
+        self.requests_served
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
         let mut results = Vec::with_capacity(reqs.len());
         let mut state = self.state.lock().expect("memo table poisoned");
         for r in reqs {
@@ -407,7 +477,19 @@ impl Runner {
     /// Simulates one claimed request and publishes its result.
     fn execute(&self, req: &RunRequest) {
         let started = Instant::now();
-        let result = Arc::new(req.simulation().run());
+        // Telemetry is observe-only and excluded from fingerprints, so the
+        // result published under this fingerprint is bit-identical whether
+        // or not telemetry rode along with the execution.
+        let (result, telemetry) = if self.telemetry.enabled {
+            let mut sim = req.simulation().clone();
+            sim.config_mut().telemetry = self.telemetry;
+            let (result, telemetry) = sim
+                .try_run_with_telemetry()
+                .expect("trace drive failed during telemetry run");
+            (Arc::new(result), telemetry)
+        } else {
+            (Arc::new(req.simulation().run()), None)
+        };
         let wall = started.elapsed();
         self.runs_executed.fetch_add(1, Ordering::Relaxed);
         {
@@ -428,19 +510,34 @@ impl Runner {
                     work_units,
                     simulated_nanos: result.exec_time.as_nanos(),
                     units_per_sec,
+                    p50_ns: result.latency_hist.p50().as_nanos(),
+                    p99_ns: result.latency_hist.p99().as_nanos(),
+                    p999_ns: result.latency_hist.p999().as_nanos(),
                 });
         }
         if result.truncated {
             self.truncated_runs.fetch_add(1, Ordering::Relaxed);
         }
         if self.audit {
-            let report = crate::audit::audit(&result);
+            let final_sample = telemetry.as_ref().map(|t| &t.final_sample);
+            let report = crate::audit::audit_with_telemetry(&result, final_sample);
             if !report.is_clean() {
                 self.audit_failures
                     .lock()
                     .expect("audit log poisoned")
                     .push(format!("{}: {report}", req.fingerprint()));
             }
+        }
+        if let Some(output) = telemetry {
+            let label = format!(
+                "{}/{}",
+                req.simulation().config().variant,
+                req.simulation().workload()
+            );
+            self.telemetry_outputs
+                .lock()
+                .expect("telemetry log poisoned")
+                .push((req.fingerprint().to_string(), label, output));
         }
         let mut state = self.state.lock().expect("memo table poisoned");
         state.in_flight.remove(req.fingerprint());

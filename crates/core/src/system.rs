@@ -39,6 +39,7 @@
 use crate::event::EventQueue;
 use crate::metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
 use crate::migration::{MigrationContext, MigrationEngine};
+use crate::telemetry::{MetricsSample, Telemetry, TelemetryOutput, SAMPLER_CORE};
 use crate::tenant_sched::{tenant_scheduler, TenantScheduler, TenantView};
 use crate::thread_exec::ThreadExecutor;
 use skybyte_cpu::{Boundedness, CoreTimingModel, HostDram};
@@ -137,6 +138,10 @@ pub struct SystemState {
     parked: Vec<bool>,
     parked_count: usize,
     sched_dirty: bool,
+    // Observe-only telemetry recorder, allocated only when enabled. Every
+    // hook below is gated on this `Option`, so a disabled run pays one
+    // branch per pass and nothing else.
+    telemetry: Option<Telemetry>,
 }
 
 impl SystemState {
@@ -191,13 +196,22 @@ impl SystemState {
             ssd.precondition((0..precondition_pages).map(Lpa::new));
         }
 
-        let per_tenant = (0..tenant_map.tenant_count())
+        let per_tenant: Vec<TenantCounters> = (0..tenant_map.tenant_count())
             .map(|i| TenantCounters {
                 tenant: skybyte_types::TenantId(i as u32),
                 threads: tenant_map.threads_of(skybyte_types::TenantId(i as u32)),
                 ..TenantCounters::default()
             })
             .collect();
+
+        let telemetry = cfg.telemetry.enabled.then(|| {
+            Telemetry::new(
+                cfg.telemetry,
+                cfg.cpu.cores,
+                ssd.channel_depths().len(),
+                per_tenant.len(),
+            )
+        });
 
         SystemState {
             cfg: cfg.clone(),
@@ -227,6 +241,7 @@ impl SystemState {
             parked: vec![false; cores],
             parked_count: 0,
             sched_dirty: false,
+            telemetry,
         }
     }
 
@@ -251,11 +266,39 @@ impl SystemState {
         for c in 0..self.core_clock.len() {
             queue.push(self.core_clock[c], c as u32);
         }
+        // The telemetry sampler rides the same queue as a sentinel-core
+        // event re-armed at its cadence. It cannot reorder real events:
+        // each core has at most one pending event, so `(time, core)`
+        // already totally orders them, and the sentinel core id sorts
+        // after every real core at an equal timestamp — the sampler
+        // observes the state *after* all passes at that instant.
+        let sample_interval = self
+            .telemetry
+            .as_ref()
+            .map(|tel| tel.config().sample_interval);
+        if let Some(interval) = sample_interval {
+            queue.push(interval, SAMPLER_CORE);
+        }
         let mut last = (Nanos::ZERO, 0usize);
         while !self.sched.all_finished() {
             let ev = queue
                 .pop()
                 .expect("event queue starved with unfinished threads");
+            if ev.core == SAMPLER_CORE {
+                // Keep the starvation failure loud: with every real core
+                // parked the sampler would otherwise spin the loop forever.
+                assert!(
+                    self.parked_count < self.core_clock.len(),
+                    "event queue starved with unfinished threads"
+                );
+                let sample = self.collect_sample(ev.time);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.record_sample(sample);
+                }
+                let interval = sample_interval.expect("sampler events imply a cadence");
+                queue.push(ev.time + interval, SAMPLER_CORE);
+                continue;
+            }
             let core = ev.core as usize;
             debug_assert_eq!(ev.time, self.core_clock[core]);
             last = (ev.time, core);
@@ -338,6 +381,9 @@ impl SystemState {
             PagePlacement::HostDram(_) => self.host_access(core, tid, &unit, t),
             PagePlacement::CxlSsd(lpa) => self.ssd_access(core, tid, unit, lpa, t),
         };
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.thread_pass(core, tid.0, now, t);
+        }
         self.retire(core, tid, t);
         Pass::Advance(t)
     }
@@ -508,12 +554,33 @@ impl SystemState {
         self.per_tenant[tenant].ssd_accesses += 1;
         let cl = unit.access.addr.cacheline_in_page() as u8;
         let arrival = self.port.deliver_request(t);
+        // Snapshot the device-activity counters the timeline derives its
+        // compaction/GC windows from (deltas across the handle call).
+        let device_before = self.telemetry.as_ref().map(|_| {
+            (
+                self.ssd.stats().compactions,
+                self.ssd.ftl_stats().gc_campaigns,
+            )
+        });
         let outcome = if unit.access.kind.is_write() {
             self.ssd.handle_write(lpa, cl, arrival)
         } else {
             self.ssd.handle_read(lpa, cl, arrival)
         };
         self.migration.record_ssd_access(lpa, t);
+        if let Some((compactions_before, gc_before)) = device_before {
+            let compactions = self.ssd.stats().compactions;
+            let gc = self.ssd.ftl_stats().gc_campaigns;
+            let until = self.ssd.compaction_active_until();
+            if let Some(tel) = self.telemetry.as_mut() {
+                if compactions > compactions_before {
+                    tel.compaction_window(arrival, until, compactions - compactions_before);
+                }
+                if gc > gc_before {
+                    tel.gc_campaign(arrival, gc - gc_before);
+                }
+            }
+        }
         let will_switch = outcome.delay_hint && self.cfg.device_triggered_ctx_swt;
         if !will_switch {
             // Squashed accesses are excluded; their replays are classified
@@ -541,6 +608,9 @@ impl SystemState {
             self.boundedness[core].context_switch += cs;
             self.execs[tid.0 as usize].push_back(unit);
             let wake = outcome.ready_at.max(outcome.estimated_ready_at);
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.context_switch(core, t, tid.0, wake);
+            }
             self.sched
                 .yield_current(core as u32, t, wake, BlockReason::LongSsdAccess);
             // The yield changed scheduler state (a thread became blocked or
@@ -581,6 +651,16 @@ impl SystemState {
             counters.latency_hist.record(latency);
 
             if outcome.served_by == ServedBy::Flash {
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.flash_window(
+                        unit.access.kind.is_write(),
+                        arrival,
+                        outcome.ready_at,
+                        outcome.breakdown.indexing,
+                        outcome.breakdown.ssd_dram,
+                        outcome.breakdown.flash,
+                    );
+                }
                 let mut ctx = MigrationContext {
                     ssd: &mut self.ssd,
                     page_table: &mut self.page_table,
@@ -593,6 +673,10 @@ impl SystemState {
         }
 
         if self.migration.enabled() && self.ssd_accesses.is_multiple_of(MIGRATION_PERIOD_ACCESSES) {
+            let migration_before = self.telemetry.as_ref().map(|_| {
+                let s = self.migration.stats();
+                (s.promotions, s.demotions)
+            });
             let mut ctx = MigrationContext {
                 ssd: &mut self.ssd,
                 page_table: &mut self.page_table,
@@ -601,6 +685,16 @@ impl SystemState {
                 host_dram: &mut self.host_dram,
             };
             self.migration.run(t, &mut ctx);
+            if let Some((promoted_before, demoted_before)) = migration_before {
+                let s = self.migration.stats();
+                let (promoted, demoted) =
+                    (s.promotions - promoted_before, s.demotions - demoted_before);
+                if promoted > 0 || demoted > 0 {
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.migration_event(t, promoted, demoted);
+                    }
+                }
+            }
         }
         t
     }
@@ -628,10 +722,78 @@ impl SystemState {
         counters.finish_time = counters.finish_time.max(at);
     }
 
+    /// Snapshots the observable state into one telemetry metrics sample.
+    /// Strictly read-only: this is the periodic sampler's handler body and
+    /// must never perturb the simulation.
+    fn collect_sample(&self, now: Nanos) -> MetricsSample {
+        let cores_running = (0..self.core_clock.len())
+            .filter(|&c| self.sched.running_on(c as u32).is_some())
+            .count() as u64;
+        let runnable_threads = self.sched.runnable_count() as u64;
+        let unfinished = self.sched.unfinished_threads() as u64;
+        let (write_log_entries, write_log_capacity) =
+            self.ssd.write_log_occupancy().unwrap_or((0, 0));
+        let cache = self.ssd.data_cache_stats();
+        let migration = self.migration.stats();
+        MetricsSample {
+            time: now,
+            cores_running: cores_running as u32,
+            cores_parked: self.parked_count as u32,
+            runnable_threads,
+            blocked_threads: unfinished.saturating_sub(runnable_threads + cores_running),
+            channel_depths: self
+                .ssd
+                .channel_depths()
+                .into_iter()
+                .map(|d| d as u64)
+                .collect(),
+            inflight_fills: self.ssd.inflight_fill_count() as u64,
+            write_log_entries,
+            write_log_capacity,
+            write_log_draining: self.ssd.compaction_active(now),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            window_hit_rate: 0.0, // derived by the recorder per window
+            pages_promoted: migration.promotions,
+            pages_demoted: migration.demotions,
+            migration_runs: migration.runs,
+            compactions: self.ssd.stats().compactions,
+            gc_campaigns: self.ssd.ftl_stats().gc_campaigns,
+            flash_pages_programmed: self.ssd.flash_stats().pages_programmed,
+            flash_pages_read: self.ssd.flash_stats().pages_read,
+            ssd_reads: self.ssd.stats().reads,
+            ssd_writes: self.ssd.stats().writes,
+            write_log_appends: self.ssd.stats().write_log_appends,
+            cxl_requests: self.port.stats().requests,
+            ssd_accesses: self.ssd_accesses,
+            squashed_accesses: self.squashed_accesses,
+            context_switches: self.sched.stats().context_switches,
+            per_tenant_accesses: self
+                .per_tenant
+                .iter()
+                .map(|t| t.ssd_accesses + t.requests.host)
+                .collect(),
+        }
+    }
+
     /// Closes the run: samples the busy-time windows, flushes all dirty
     /// device state, snapshots every layer's counters (including the CXL
     /// port) and assembles the [`SimResult`] labelled `workload_label`.
-    pub(crate) fn into_result(mut self, workload_label: &str) -> SimResult {
+    pub(crate) fn into_result(self, workload_label: &str) -> SimResult {
+        self.into_result_with_telemetry(workload_label).0
+    }
+
+    /// [`into_result`](Self::into_result), additionally returning the
+    /// telemetry captured over the run (when enabled). The final cumulative
+    /// sample is taken at `exec_time` *after* the end-of-run flush, beside
+    /// the `layers` snapshot, so the `telemetry-final-agreement` audit
+    /// invariant can tie the two exactly. Telemetry never lives on the
+    /// [`SimResult`] itself — results stay bit-identical (and goldens
+    /// unchanged) whether or not capture was on.
+    pub(crate) fn into_result_with_telemetry(
+        mut self,
+        workload_label: &str,
+    ) -> (SimResult, Option<TelemetryOutput>) {
         let exec_time = self
             .core_clock
             .iter()
@@ -665,7 +827,12 @@ impl SystemState {
             migration: *self.migration.stats(),
         };
 
-        SimResult {
+        let telemetry = self.telemetry.take().map(|tel| {
+            let final_sample = self.collect_sample(exec_time);
+            tel.finish(final_sample)
+        });
+
+        let result = SimResult {
             variant: self.cfg.variant,
             policy: self.cfg.policy,
             workload: workload_label.to_string(),
@@ -696,7 +863,8 @@ impl SystemState {
             truncated: self.truncated,
             layers,
             per_tenant: self.per_tenant,
-        }
+        };
+        (result, telemetry)
     }
 }
 

@@ -156,6 +156,13 @@ impl FlashArray {
     pub fn channel_count(&self) -> usize {
         self.channels.len()
     }
+
+    /// Per-channel queue depths (commands accepted but not yet retired),
+    /// indexed by channel. A read-only telemetry probe: retirement is lazy,
+    /// so this reflects the backlog as of the last `retire_completed` call.
+    pub fn channel_depths(&self) -> Vec<usize> {
+        self.channels.iter().map(ChannelQueue::depth).collect()
+    }
 }
 
 #[cfg(test)]

@@ -481,6 +481,26 @@ impl SsdController {
         self.write_log.as_ref().map(|l| l.resident_entries())
     }
 
+    /// Write-log occupancy as `(entries, capacity)`, if the log is enabled.
+    /// A read-only telemetry probe of the active buffer's fill state.
+    pub fn write_log_occupancy(&self) -> Option<(u64, u64)> {
+        self.write_log
+            .as_ref()
+            .map(|l| (l.len() as u64, l.capacity() as u64))
+    }
+
+    /// Number of on-demand cache fills currently in flight (issued to flash
+    /// but not yet landed in the data cache). A read-only telemetry probe.
+    pub fn inflight_fill_count(&self) -> usize {
+        self.inflight_fills.len()
+    }
+
+    /// Per-channel flash queue depths, indexed by channel. A read-only
+    /// telemetry probe (see [`FlashArray::channel_depths`]).
+    pub fn channel_depths(&self) -> Vec<usize> {
+        self.flash.channel_depths()
+    }
+
     /// Flushes all dirty state to flash: in page-granular mode every dirty
     /// page in the data cache is written back; in write-log mode the active
     /// log buffer is compacted. Used at the end of a measurement run so the

@@ -672,6 +672,49 @@ impl fmt::Display for VariantKind {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// Telemetry capture configuration: a periodic simulated-time metrics
+/// sampler plus a span/instant timeline (Chrome trace-event JSON).
+///
+/// Telemetry is strictly observe-only: enabling it changes no simulated
+/// outcome, and its [`Debug`] rendering is deliberately field-free so run
+/// fingerprints (which are built from a config's `Debug` output) never
+/// split a memoisation table on telemetry settings.
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch. Off by default; when off, the engine allocates no
+    /// telemetry state and the hot path pays a single `Option` check.
+    pub enabled: bool,
+    /// Simulated-time cadence of the periodic metrics sampler (10 µs by
+    /// default). Must be nonzero when telemetry is enabled.
+    pub sample_interval: Nanos,
+    /// Capture span/instant events for the Chrome trace-event timeline in
+    /// addition to the periodic metric samples.
+    pub timeline: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            sample_interval: Nanos::from_micros(10),
+            timeline: true,
+        }
+    }
+}
+
+impl fmt::Debug for TelemetryConfig {
+    /// Deliberately constant: the runner memoises runs keyed on the
+    /// config's `Debug` rendering, and telemetry is observe-only, so two
+    /// configs differing only in telemetry must share one fingerprint.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TelemetryConfig(observe-only)")
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Top-level configuration
 // ---------------------------------------------------------------------------
 
@@ -732,6 +775,11 @@ pub struct SimConfig {
     /// The default reproduces the pre-policy-layer behaviour exactly.
     #[serde(default)]
     pub policy: PolicyConfig,
+    /// Observe-only telemetry capture (periodic metric sampling and the
+    /// Chrome trace-event timeline). Excluded from run fingerprints via its
+    /// constant `Debug` rendering.
+    #[serde(default)]
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -751,6 +799,7 @@ impl Default for SimConfig {
             infinite_host_dram: false,
             variant: VariantKind::BaseCssd,
             policy: PolicyConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -833,6 +882,12 @@ impl SimConfig {
         self
     }
 
+    /// Sets the observe-only telemetry capture configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Checks internal consistency of the configuration.
     ///
     /// # Errors
@@ -903,6 +958,11 @@ impl SimConfig {
                 "promotion requires at least one PLB entry",
             ));
         }
+        if self.telemetry.enabled && self.telemetry.sample_interval == Nanos::ZERO {
+            return Err(ConfigError::new(
+                "telemetry sample interval must be nonzero when telemetry is enabled",
+            ));
+        }
         Ok(())
     }
 }
@@ -932,6 +992,47 @@ mod tests {
         assert_eq!(cfg.cpu.tlb.entries, 1536);
         assert_eq!(cfg.cpu.tlb.miss_latency, Nanos::new(30));
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_never_splits_fingerprints() {
+        let cfg = SimConfig::default();
+        assert!(!cfg.telemetry.enabled);
+        assert_eq!(cfg.telemetry.sample_interval, Nanos::from_micros(10));
+        // The Debug rendering — and therefore any fingerprint derived from
+        // it — must be identical regardless of the telemetry settings.
+        let mut on = cfg.clone();
+        on.telemetry = TelemetryConfig {
+            enabled: true,
+            sample_interval: Nanos::from_micros(1),
+            timeline: false,
+        };
+        assert_eq!(format!("{cfg:?}"), format!("{on:?}"));
+        on.validate().unwrap();
+        // A zero cadence with telemetry enabled is rejected.
+        on.telemetry.sample_interval = Nanos::ZERO;
+        assert!(on.validate().is_err());
+        on.telemetry.enabled = false;
+        on.validate().unwrap();
+    }
+
+    #[test]
+    fn configs_without_a_telemetry_field_still_deserialize() {
+        // Serialized configs predating the telemetry field (golden corpus
+        // metadata included) must keep loading via the serde default.
+        let json = serde_json::to_string(&SimConfig::default()).unwrap();
+        let mut v: serde::Value = serde_json::from_str(&json).unwrap();
+        match &mut v {
+            serde::Value::Map(entries) => {
+                let before = entries.len();
+                entries.retain(|(k, _)| k != "telemetry");
+                assert_eq!(entries.len(), before - 1, "telemetry must serialize");
+            }
+            other => panic!("a config must serialize as a map, got {other:?}"),
+        }
+        let stripped = serde_json::to_string(&v).unwrap();
+        let cfg: SimConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(cfg.telemetry, TelemetryConfig::default());
     }
 
     #[test]

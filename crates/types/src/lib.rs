@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::config::{
         CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
         MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,
-        SsdDramConfig, SsdGeometry, TlbConfig, VariantKind,
+        SsdDramConfig, SsdGeometry, TelemetryConfig, TlbConfig, VariantKind,
     };
     pub use crate::error::ConfigError;
     pub use crate::fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
@@ -79,7 +79,7 @@ pub use audit::{AuditReport, Violation};
 pub use config::{
     CacheLevelConfig, CpuConfig, DramTimingConfig, FlashTimingConfig, HostDramConfig,
     MigrationConfig, MigrationPolicyKind, NandKind, SchedPolicy, SimConfig, SsdConfig,
-    SsdDramConfig, SsdGeometry, TlbConfig, VariantKind, GIB, KIB, MIB,
+    SsdDramConfig, SsdGeometry, TelemetryConfig, TlbConfig, VariantKind, GIB, KIB, MIB,
 };
 pub use error::ConfigError;
 pub use fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};

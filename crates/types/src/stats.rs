@@ -179,6 +179,23 @@ impl LatencyHistogram {
         Nanos::new(self.max_ns)
     }
 
+    /// Median latency: shorthand for [`percentile`](Self::percentile)`(0.5)`.
+    pub fn p50(&self) -> Nanos {
+        self.percentile(0.5)
+    }
+
+    /// 99th-percentile latency: shorthand for
+    /// [`percentile`](Self::percentile)`(0.99)`.
+    pub fn p99(&self) -> Nanos {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile latency: shorthand for
+    /// [`percentile`](Self::percentile)`(0.999)`.
+    pub fn p999(&self) -> Nanos {
+        self.percentile(0.999)
+    }
+
     /// Returns `(bucket_upper_bound_ns, cumulative_fraction)` pairs describing
     /// the CDF of the distribution — the data series plotted in Figure 3.
     pub fn cdf(&self) -> Vec<(u64, f64)> {
@@ -351,6 +368,20 @@ mod tests {
         let p90 = h.percentile(0.9);
         let p99 = h.percentile(0.99);
         assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn percentile_shorthands_match_the_general_form() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.p50(), Nanos::ZERO);
+        for i in 1..=10_000u64 {
+            h.record(Nanos::new(i * 31 % 1_000_000 + 1));
+        }
+        assert_eq!(h.p50(), h.percentile(0.5));
+        assert_eq!(h.p99(), h.percentile(0.99));
+        assert_eq!(h.p999(), h.percentile(0.999));
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+        assert!(h.p999() <= Nanos::new(h.max().as_nanos().next_power_of_two()));
     }
 
     #[test]
