@@ -83,8 +83,8 @@ fn parse_args() -> Result<Options, String> {
                 i += 1;
                 let name = args
                     .get(i)
-                    .ok_or("--fig requires a number, 'mt' or 'policy'")?;
-                if name != "mt" && name != "policy" {
+                    .ok_or("--fig requires a number, 'mt', 'policy' or 'fleet'")?;
+                if name != "mt" && name != "policy" && name != "fleet" {
                     name.parse::<u32>()
                         .map_err(|e| format!("invalid figure number: {e}"))?;
                 }
@@ -184,13 +184,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--all] [--fig N|mt|policy]... [--table N]... \
+                    "usage: figures [--all] [--fig N|mt|policy|fleet]... [--table N]... \
                      [--scale tiny|bench|default] [--jobs N] [--out DIR] \
                      [--record-dir DIR | --replay-dir DIR] [--audit] [--policy NAME]...\n\n\
                      --fig mt           the multi-tenant interference experiment\n\
                      \u{20}                  (ycsb + tpcc co-located, per-tenant slowdown vs solo)\n\
                      --fig policy       the pluggable-policy ablation (eviction x hotness,\n\
                      \u{20}                  plus admission and tenant-scheduling contenders)\n\
+                     --fig fleet        the multi-device fleet sweep (placement policy x\n\
+                     \u{20}                  fleet size, per-tenant tail slowdown + fairness)\n\
                      --policy NAME      apply a policy to every simulation (repeatable;\n\
                      \u{20}                  e.g. clock, 2q, bypass-scan, decay, topk,\n\
                      \u{20}                  fair-share, tpp, rr — unified name registry)\n\
@@ -272,15 +274,18 @@ fn main() -> ExitCode {
     };
     let (figures, tables) = if opts.all {
         // `--all` regenerates every paper figure plus the repository's own
-        // multi-tenant interference experiment. Trace drives are
-        // single-tenant (multi-tenant runs compose their sources live), so
-        // recording/replaying `--all` skips the mt experiment.
+        // multi-tenant experiments. Trace drives are single-tenant
+        // (multi-tenant runs compose their sources live), so recording or
+        // replaying `--all` skips them.
         let mut figs: Vec<String> = DATA_FIGURES.iter().map(|n| n.to_string()).collect();
         if opts.drive == TraceDrive::Synthetic {
             figs.push("mt".into());
             figs.push("policy".into());
+            figs.push("fleet".into());
         } else {
-            eprintln!("[figures] note: skipping figures mt/policy under --record-dir/--replay-dir");
+            eprintln!(
+                "[figures] note: skipping figures mt/policy/fleet under --record-dir/--replay-dir"
+            );
         }
         (figs, vec![1, 2, 3, 4])
     } else {

@@ -7,7 +7,7 @@
 //!              [--scale tiny]
 //! trace stat   --trace ycsb.sbt
 //! trace mix    --out mixed.sbt A.sbt[:WEIGHT] B.sbt[:WEIGHT] ...
-//!              [--mode mix|concat] [--shift-stride BYTES] [--loop N]
+//!              [--mode mix|concat|stack] [--shift-stride BYTES] [--loop N]
 //! ```
 //!
 //! `record` writes the synthetic workload stream the simulator would
@@ -15,15 +15,18 @@
 //! trace (the trace defines footprint, thread count and the amount of
 //! work), `stat` streams the Table I / Figures 5–6 characteristics of a
 //! trace, and `mix` composes new traces out of existing ones — proportional
-//! interleave or concatenation, with optional per-tenant address shifting
-//! and looping.
+//! interleave, concatenation, or tenant stacking, with optional per-tenant
+//! address shifting and looping. A multi-tenant composition records its
+//! thread → tenant table in the output header (`.sbt` format version 2), so
+//! replay reproduces the partition; single-tenant outputs stay at format
+//! version 1, byte-identical to earlier releases.
 
 use skybyte_bench::{figures_scale, variant_from_name};
 use skybyte_sim::{
     chrome_trace_json, metrics_csv, ExperimentScale, PerfReport, RunTiming, SimResult, Simulation,
 };
 use skybyte_trace::{
-    record_to_file, BoxedSource, Concat, LoopN, Mix, Shift, TraceFileSource, TraceHeader,
+    record_to_file, BoxedSource, Concat, LoopN, Mix, Shift, Tenants, TraceFileSource, TraceHeader,
     TraceReader, TraceSource, TraceStats, TraceWriter,
 };
 use skybyte_types::{Nanos, PolicyOverride, SimConfig, TelemetryConfig, VariantKind};
@@ -58,11 +61,14 @@ const USAGE: &str = "usage: trace <record|replay|stat|mix|verify-corpus> [option
       Stream the trace once and print footprint / write ratio / per-page
       cacheline coverage (comparable to Table I and Figures 5-6).
 
-  mix --out FILE INPUT[:WEIGHT]... [--mode mix|concat]
+  mix --out FILE INPUT[:WEIGHT]... [--mode mix|concat|stack]
       [--shift-stride BYTES] [--loop N]
-      Compose INPUTs into a new trace: proportional interleave (mix) or
-      back-to-back (concat); --shift-stride re-bases input i by i*BYTES;
-      --loop repeats each input N times.
+      Compose INPUTs into a new trace: proportional interleave (mix),
+      back-to-back (concat), or side-by-side on the thread axis with one
+      tenant per input (stack); --shift-stride re-bases input i by
+      i*BYTES; --loop repeats each input N times. Multi-tenant outputs
+      carry their thread->tenant table in the header (format version 2)
+      so replay keeps the partition.
 
   verify-corpus [--dir DIR] [--jobs N] [--pin [--entry NAME]...]
                 [--diff-out FILE]
@@ -179,6 +185,7 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         footprint_bytes: spec.footprint_bytes,
         seed: scale.seed,
         source: source.identity(),
+        tenant_of_thread: None,
     };
     let written = record_to_file(&mut source, &out, &header, budget)
         .map_err(|e| format!("recording failed: {e}"))?;
@@ -509,19 +516,17 @@ fn cmd_mix(args: &[String]) -> Result<(), String> {
     if inputs.is_empty() {
         return Err("mix needs at least one input trace".into());
     }
-    if mode != "mix" && mode != "concat" {
-        return Err(format!("unknown --mode '{mode}' (mix|concat)"));
+    if mode != "mix" && mode != "concat" && mode != "stack" {
+        return Err(format!("unknown --mode '{mode}' (mix|concat|stack)"));
     }
 
     let mut sources: Vec<(BoxedSource, u64)> = Vec::new();
-    let mut threads = 0u32;
     let mut footprint = 0u64;
     let mut seed = 0u64;
     for (idx, (path, weight)) in inputs.iter().enumerate() {
         let file = open_input(path)?;
         let header = file.header().clone();
         let shift = shift_stride * idx as u64;
-        threads = threads.max(header.threads);
         footprint = footprint.max(header.footprint_bytes.saturating_add(shift));
         seed ^= header.seed.rotate_left(idx as u32);
         let mut source: BoxedSource = Box::new(file);
@@ -533,16 +538,23 @@ fn cmd_mix(args: &[String]) -> Result<(), String> {
         }
         sources.push((source, *weight));
     }
-    let mut composite: BoxedSource = if mode == "concat" {
-        Box::new(Concat::new(sources.into_iter().map(|(s, _)| s).collect()))
-    } else {
-        Box::new(Mix::new(sources))
+    let mut composite: BoxedSource = match mode.as_str() {
+        "concat" => Box::new(Concat::new(sources.into_iter().map(|(s, _)| s).collect())),
+        "stack" => Box::new(Tenants::new(sources.into_iter().map(|(s, _)| s).collect())),
+        _ => Box::new(Mix::new(sources)),
     };
+    let threads = composite.threads();
+    // A genuinely multi-tenant composition (tenant stacking, or inputs that
+    // already carry tenant tables) records its partition in the header;
+    // single-tenant outputs stay at format version 1.
+    let tenant_of_thread = (composite.tenant_map().tenant_count() > 1)
+        .then(|| (0..threads).map(|t| composite.tenant_of(t).0).collect());
     let header = TraceHeader {
         threads,
         footprint_bytes: footprint,
         seed,
         source: composite.identity(),
+        tenant_of_thread,
     };
     let mut writer =
         TraceWriter::create(&out, &header).map_err(|e| format!("cannot create output: {e}"))?;

@@ -309,6 +309,10 @@ impl Simulation {
                     footprint_bytes: spec.footprint_bytes,
                     seed: self.scale.seed,
                     source: source.identity(),
+                    // Synthetic workload recordings are single-tenant;
+                    // omitting the table keeps the golden corpus at format
+                    // version 1, byte-identical to earlier releases.
+                    tenant_of_thread: None,
                 };
                 // Concurrent runner workers may record the same (workload,
                 // scale) stream for different variants; each writes a unique

@@ -46,7 +46,7 @@ pub struct ExperimentTable {
 }
 
 impl ExperimentTable {
-    fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+    pub(crate) fn new(id: &str, title: &str, columns: &[&str]) -> Self {
         ExperimentTable {
             id: id.to_string(),
             title: title.to_string(),
@@ -55,7 +55,7 @@ impl ExperimentTable {
         }
     }
 
-    fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+    pub(crate) fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
         debug_assert_eq!(values.len(), self.columns.len());
         self.rows.push((label.into(), values));
     }
@@ -795,7 +795,7 @@ pub const MT_VARIANTS: [VariantKind; 2] = [VariantKind::BaseCssd, VariantKind::S
 /// `accesses_per_thread` by the tenant's share of the co-located thread
 /// count (exact for the scenario set used here; `.max(1)` guards tiny
 /// budgets).
-fn mt_solo_twin(
+pub(crate) fn mt_solo_twin(
     variant: VariantKind,
     tenants: &[(WorkloadKind, u32)],
     i: usize,

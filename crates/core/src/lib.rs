@@ -40,6 +40,7 @@ pub mod audit;
 pub mod engine;
 pub mod event;
 pub mod experiments;
+pub mod fleet;
 pub mod metrics;
 pub mod migration;
 pub mod report;
@@ -52,6 +53,11 @@ pub mod thread_exec;
 
 pub use engine::{Simulation, TraceDrive};
 pub use event::{Event, EventQueue};
+pub use fleet::{
+    audit_fleet, device_groups, fig_fleet, interference_scores, placement_policy, rebalance_policy,
+    run_fleet, DeviceOutcome, FleetConfig, FleetResult, PlacementPolicy, RebalancePolicy,
+    TenantDemand,
+};
 pub use metrics::{AmatBreakdown, LayerCounters, RequestBreakdown, SimResult, TenantCounters};
 pub use migration::{
     AdaptiveTrigger, AstriFlashTrigger, DisabledTrigger, MigrationEngine, MigrationTrigger,
@@ -65,5 +71,5 @@ pub use telemetry::{
     chrome_trace_json, metrics_csv, MetricsLog, MetricsSample, Telemetry, TelemetryOutput,
     Timeline, TimelineEvent,
 };
-pub use tenant_sched::{FairShareScheduler, PassthroughScheduler, TenantScheduler};
+pub use tenant_sched::{FairShareScheduler, PassthroughScheduler, QosScheduler, TenantScheduler};
 pub use thread_exec::ThreadExecutor;

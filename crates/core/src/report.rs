@@ -75,8 +75,9 @@ pub fn figure_table(runner: &Runner, figure: u32, scale: &ExperimentScale) -> Ex
 
 /// Regenerates a figure by the harness's name for it: a paper figure number
 /// (`"14"`) or one of the repository's own experiments (`"mt"`, the
-/// multi-tenant interference study, or `"policy"`, the pluggable-policy
-/// ablation). This is what `figures --fig` resolves.
+/// multi-tenant interference study, `"policy"`, the pluggable-policy
+/// ablation, or `"fleet"`, the multi-device placement sweep). This is what
+/// `figures --fig` resolves.
 pub fn figure_table_named(
     runner: &Runner,
     name: &str,
@@ -88,9 +89,12 @@ pub fn figure_table_named(
     if name == "policy" {
         return Ok(experiments::fig_policy_ablation(runner, scale));
     }
-    let number: u32 = name
-        .parse()
-        .map_err(|_| format!("unknown figure '{name}' (paper figure number, 'mt' or 'policy')"))?;
+    if name == "fleet" {
+        return Ok(crate::fleet::fig_fleet(runner, scale));
+    }
+    let number: u32 = name.parse().map_err(|_| {
+        format!("unknown figure '{name}' (paper figure number, 'mt', 'policy' or 'fleet')")
+    })?;
     if !DATA_FIGURES.contains(&number) {
         return Err(format!(
             "figure {number} has no data series (architecture diagram)"
@@ -218,6 +222,9 @@ mod tests {
         assert!(figure_table_named(&runner, "7", &scale)
             .unwrap_err()
             .contains("architecture diagram"));
+        assert!(figure_table_named(&runner, "bogus", &scale)
+            .unwrap_err()
+            .contains("'fleet'"));
         assert!(figure_table_named(&runner, "bogus", &scale)
             .unwrap_err()
             .contains("unknown figure"));

@@ -42,6 +42,7 @@ use crate::migration::{MigrationContext, MigrationEngine};
 use crate::telemetry::{MetricsSample, Telemetry, TelemetryOutput, SAMPLER_CORE};
 use crate::tenant_sched::{tenant_scheduler, TenantScheduler, TenantView};
 use crate::thread_exec::ThreadExecutor;
+use skybyte_cache::WriteLogPartitions;
 use skybyte_cpu::{Boundedness, CoreTimingModel, HostDram};
 use skybyte_cxl::CxlPort;
 use skybyte_os::{BlockReason, PagePlacement, PageTable, Scheduler, ThreadId, Tlb};
@@ -99,6 +100,10 @@ pub struct SystemState {
     host_dram: HostDram,
     sched: Scheduler,
     tenant_sched: Box<dyn TenantScheduler>,
+    // Windowed per-tenant write-log append accounting, maintained only for
+    // the `qos` tenant scheduler (None otherwise, so the default pipeline
+    // carries no extra state).
+    log_partitions: Option<WriteLogPartitions>,
     page_table: PageTable,
     tlb: Tlb,
     migration: MigrationEngine,
@@ -221,6 +226,16 @@ impl SystemState {
             host_dram,
             sched,
             tenant_sched: tenant_scheduler(cfg.policy.tenant_sched),
+            log_partitions: (cfg.policy.tenant_sched == skybyte_types::TenantSchedKind::Qos).then(
+                || {
+                    // One window per log fill: the log holds one 64-byte
+                    // cacheline entry per 64 bytes of capacity.
+                    WriteLogPartitions::new(
+                        tenant_map.tenant_count(),
+                        cfg.ssd.dram.write_log_bytes / 64,
+                    )
+                },
+            ),
             page_table,
             tlb,
             migration,
@@ -443,6 +458,7 @@ impl SystemState {
         let view = TenantView {
             map: &self.tenant_map,
             counters: &self.per_tenant,
+            log_pressure: self.log_partitions.as_ref(),
         };
         match self.sched.running_on(core as u32) {
             Some(t) => Scheduled::Run(t),
@@ -562,11 +578,21 @@ impl SystemState {
                 self.ssd.ftl_stats().gc_campaigns,
             )
         });
+        let appends_before = (self.log_partitions.is_some() && unit.access.kind.is_write())
+            .then(|| self.ssd.stats().write_log_appends);
         let outcome = if unit.access.kind.is_write() {
             self.ssd.handle_write(lpa, cl, arrival)
         } else {
             self.ssd.handle_read(lpa, cl, arrival)
         };
+        if let Some(before) = appends_before {
+            let delta = self.ssd.stats().write_log_appends - before;
+            if let Some(parts) = self.log_partitions.as_mut() {
+                for _ in 0..delta {
+                    parts.note_append(tenant);
+                }
+            }
+        }
         self.migration.record_ssd_access(lpa, t);
         if let Some((compactions_before, gc_before)) = device_before {
             let compactions = self.ssd.stats().compactions;

@@ -9,14 +9,18 @@
 //! favours threads of the tenant that has issued the fewest SSD accesses so
 //! far, throttling a noisy neighbour at the scheduler rather than in the
 //! device — but stays work-conserving (if the favoured tenants have nothing
-//! runnable, any runnable thread is picked).
+//! runnable, any runnable thread is picked). [`QosScheduler`] does the same
+//! using the write-log partition accounting
+//! ([`skybyte_cache::WriteLogPartitions`]): tenants whose recent log appends
+//! exceed their even share of the log are deprioritised.
 //!
-//! Neither implementation ever blocks a thread or charges a context switch;
+//! No implementation ever blocks a thread or charges a context switch;
 //! the seam only biases *which* runnable thread an empty core picks, so the
 //! audit's squash/context-switch agreement invariant holds under every
 //! contender.
 
 use crate::metrics::TenantCounters;
+use skybyte_cache::WriteLogPartitions;
 use skybyte_os::{Scheduler, ThreadId};
 use skybyte_types::{Nanos, TenantMap, TenantSchedKind};
 use std::fmt;
@@ -28,6 +32,9 @@ pub struct TenantView<'a> {
     pub map: &'a TenantMap,
     /// Per-tenant counters accumulated so far, indexed by dense tenant id.
     pub counters: &'a [TenantCounters],
+    /// Windowed per-tenant write-log append accounting, present only when
+    /// the pipeline maintains partitions (the `qos` contender).
+    pub log_pressure: Option<&'a WriteLogPartitions>,
 }
 
 /// Places a thread on an empty core, optionally biased by per-tenant
@@ -102,11 +109,43 @@ impl TenantScheduler for FairShareScheduler {
     }
 }
 
+/// Deprioritise tenants whose windowed write-log appends exceed their even
+/// share of the log ([`WriteLogPartitions`]); fall back to any runnable
+/// thread when every in-quota tenant is busy (work-conserving). Without
+/// partition accounting (single-tenant runs before the pipeline wires it
+/// up) this is plain passthrough.
+#[derive(Debug, Default)]
+pub struct QosScheduler;
+
+impl TenantScheduler for QosScheduler {
+    fn kind(&self) -> TenantSchedKind {
+        TenantSchedKind::Qos
+    }
+
+    fn schedule_on(
+        &mut self,
+        sched: &mut Scheduler,
+        core: u32,
+        now: Nanos,
+        tenants: &TenantView<'_>,
+    ) -> Option<ThreadId> {
+        let Some(pressure) = tenants.log_pressure else {
+            return sched.schedule_on(core, now);
+        };
+        let map = tenants.map;
+        sched.schedule_on_filtered(core, now, &mut |tid| {
+            let tenant = map.tenant_of(tid.0).index();
+            tenant >= pressure.tenant_count() || !pressure.over_quota(tenant)
+        })
+    }
+}
+
 /// Constructs the scheduler implementing `kind`.
 pub fn tenant_scheduler(kind: TenantSchedKind) -> Box<dyn TenantScheduler> {
     match kind {
         TenantSchedKind::Passthrough => Box::new(PassthroughScheduler),
         TenantSchedKind::FairShare => Box::new(FairShareScheduler),
+        TenantSchedKind::Qos => Box::new(QosScheduler),
     }
 }
 
@@ -138,6 +177,7 @@ mod tests {
         let view = TenantView {
             map: &map,
             counters: &counters,
+            log_pressure: None,
         };
         let mut a = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
         let mut b = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
@@ -162,6 +202,7 @@ mod tests {
         let view = TenantView {
             map: &map,
             counters: &counters,
+            log_pressure: None,
         };
         let mut sched = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
         for _ in 0..4 {
@@ -184,6 +225,7 @@ mod tests {
         let view = TenantView {
             map: &map,
             counters: &counters,
+            log_pressure: None,
         };
         let mut sched = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
         sched.spawn();
@@ -199,5 +241,82 @@ mod tests {
             .schedule_on(&mut sched, 1, Nanos::ZERO, &view)
             .expect("work-conserving fallback");
         assert_eq!(second.0, 0);
+    }
+
+    #[test]
+    fn qos_deprioritises_the_over_quota_tenant() {
+        // Threads 0,1 belong to tenant 0; threads 2,3 to tenant 1.
+        let map = TenantMap::from_fn(4, |t| TenantId(u32::from(t >= 2)));
+        let counters = two_tenant_view(&map, 0, 0);
+        // Tenant 0 hogs the write log: 8 of 10 windowed appends.
+        let mut parts = WriteLogPartitions::new(2, 10);
+        for _ in 0..8 {
+            parts.note_append(0);
+        }
+        let view = TenantView {
+            map: &map,
+            counters: &counters,
+            log_pressure: Some(&parts),
+        };
+        let mut sched = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
+        for _ in 0..4 {
+            sched.spawn();
+        }
+        let mut ts = QosScheduler;
+        let picked = ts
+            .schedule_on(&mut sched, 0, Nanos::ZERO, &view)
+            .expect("runnable");
+        assert!(
+            picked.0 >= 2,
+            "tenant 0 is over its log quota; tenant 1's threads must be favoured"
+        );
+    }
+
+    #[test]
+    fn qos_is_work_conserving_and_passthrough_without_partitions() {
+        let map = TenantMap::from_fn(2, TenantId);
+        let counters = two_tenant_view(&map, 0, 0);
+        // Only tenant 0 has a runnable thread, and it is over quota: the
+        // filtered pick must still fall back to it rather than idle.
+        let mut parts = WriteLogPartitions::new(2, 10);
+        for _ in 0..9 {
+            parts.note_append(0);
+        }
+        let view = TenantView {
+            map: &map,
+            counters: &counters,
+            log_pressure: Some(&parts),
+        };
+        let mut sched = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
+        sched.spawn();
+        sched.spawn();
+        let mut ts = QosScheduler;
+        let first = ts
+            .schedule_on(&mut sched, 0, Nanos::ZERO, &view)
+            .expect("runnable");
+        assert_eq!(first.0, 1, "the in-quota tenant goes first");
+        let second = ts
+            .schedule_on(&mut sched, 1, Nanos::ZERO, &view)
+            .expect("work-conserving fallback");
+        assert_eq!(second.0, 0);
+
+        // Without partition accounting, qos must match the plain scheduler.
+        let no_parts = TenantView {
+            map: &map,
+            counters: &counters,
+            log_pressure: None,
+        };
+        let mut a = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
+        let mut b = Scheduler::new(SchedPolicy::RoundRobin, Nanos::new(100), 1);
+        for _ in 0..2 {
+            a.spawn();
+            b.spawn();
+        }
+        for core in 0..2u32 {
+            assert_eq!(
+                ts.schedule_on(&mut a, core, Nanos::ZERO, &no_parts),
+                b.schedule_on(core, Nanos::ZERO),
+            );
+        }
     }
 }

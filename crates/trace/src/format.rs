@@ -5,13 +5,20 @@
 //!
 //! ```text
 //! magic   8 bytes   b"SBTRACE\0"
-//! version varint    format version (currently 1)
+//! version varint    format version (1, or 2 when a tenant table follows)
 //! threads varint    number of thread streams
 //! footprint varint  workload footprint in bytes (provenance)
 //! seed    varint    generator seed (provenance)
 //! source  varint n + n bytes   UTF-8 identity of the producing source
+//! tenants varint n + n varints   thread→tenant table (version 2 only;
+//!                   n == threads, each id < threads)
 //! chunk*            until EOF
 //! ```
+//!
+//! Version 2 differs from version 1 **only** by the tenant table: a header
+//! without one serialises byte-identically to version 1, so tenant-agnostic
+//! producers keep emitting files older readers accept, and the golden
+//! corpus stays bit-stable.
 //!
 //! Each chunk interleaves one thread's records:
 //!
@@ -43,8 +50,15 @@ use std::path::Path;
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"SBTRACE\0";
 
-/// The current format version.
+/// The base format version (no tenant table). Headers without a
+/// [`TraceHeader::tenant_of_thread`] table are always written at this
+/// version so tenant-agnostic files stay byte-identical to older releases.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// The tenant-aware format version: identical to [`FORMAT_VERSION`] plus a
+/// thread→tenant table at the end of the header. Written only when the
+/// header carries a table.
+pub const TENANT_FORMAT_VERSION: u32 = 2;
 
 /// Records buffered per chunk by the writer before flushing.
 const CHUNK_RECORDS: u64 = 512;
@@ -80,6 +94,12 @@ pub struct TraceHeader {
     pub seed: u64,
     /// Free-form identity of the producing source.
     pub source: String,
+    /// Optional thread→tenant table (`table[thread] == tenant id`). `None`
+    /// serialises as version 1, byte-identical to tenant-unaware files;
+    /// `Some` bumps the file to [`TENANT_FORMAT_VERSION`]. When present the
+    /// table must have exactly [`threads`](Self::threads) entries, each
+    /// `< threads` (tenant ids are dense, at most one per thread).
+    pub tenant_of_thread: Option<Vec<u32>>,
 }
 
 impl TraceHeader {
@@ -88,13 +108,32 @@ impl TraceHeader {
     /// readable (the reader rejects longer ones as corrupt).
     fn write_to<W: Write>(&self, out: &mut W) -> Result<(), TraceError> {
         let source = clip_identity(&self.source);
+        let version = if self.tenant_of_thread.is_some() {
+            TENANT_FORMAT_VERSION
+        } else {
+            FORMAT_VERSION
+        };
         out.write_all(&MAGIC)?;
-        varint::write_u64(out, FORMAT_VERSION as u64)?;
+        varint::write_u64(out, version as u64)?;
         varint::write_u64(out, self.threads as u64)?;
         varint::write_u64(out, self.footprint_bytes)?;
         varint::write_u64(out, self.seed)?;
         varint::write_u64(out, source.len() as u64)?;
         out.write_all(source.as_bytes())?;
+        if let Some(table) = &self.tenant_of_thread {
+            if table.len() != self.threads as usize {
+                return Err(TraceError::Corrupt(
+                    "tenant table length does not match thread count",
+                ));
+            }
+            varint::write_u64(out, table.len() as u64)?;
+            for &tenant in table {
+                if tenant >= self.threads {
+                    return Err(TraceError::Corrupt("tenant id out of range"));
+                }
+                varint::write_u64(out, tenant as u64)?;
+            }
+        }
         Ok(())
     }
 
@@ -114,7 +153,7 @@ impl TraceHeader {
             return Err(TraceError::BadMagic);
         }
         let version = varint::read_u64(input)? as u32;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != TENANT_FORMAT_VERSION {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let threads = varint::read_u64(input)?;
@@ -139,11 +178,31 @@ impl TraceHeader {
         })?;
         let source = String::from_utf8(name)
             .map_err(|_| TraceError::Corrupt("source identity is not UTF-8"))?;
+        let tenant_of_thread = if version >= TENANT_FORMAT_VERSION {
+            let len = varint::read_u64(input)?;
+            if len != threads {
+                return Err(TraceError::Corrupt(
+                    "tenant table length does not match thread count",
+                ));
+            }
+            let mut table = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                let tenant = varint::read_u64(input)?;
+                if tenant >= threads {
+                    return Err(TraceError::Corrupt("tenant id out of range"));
+                }
+                table.push(tenant as u32);
+            }
+            Some(table)
+        } else {
+            None
+        };
         Ok(TraceHeader {
             threads: threads as u32,
             footprint_bytes,
             seed,
             source,
+            tenant_of_thread,
         })
     }
 }
@@ -464,6 +523,7 @@ mod tests {
             footprint_bytes: 8 << 20,
             seed: 42,
             source: "unit-test".to_string(),
+            tenant_of_thread: None,
         }
     }
 
@@ -543,6 +603,7 @@ mod tests {
             footprint_bytes: 1,
             seed: 0,
             source: "é".repeat(3 * MAX_SOURCE_IDENTITY_BYTES),
+            tenant_of_thread: None,
         };
         let mut w = TraceWriter::new(Vec::new(), &huge).unwrap();
         w.push(0, &TraceRecord::read(1, 64)).unwrap();
@@ -550,6 +611,84 @@ mod tests {
         let r = TraceReader::new(bytes.as_slice()).unwrap();
         assert!(r.header().source.len() <= MAX_SOURCE_IDENTITY_BYTES);
         assert!(r.header().source.starts_with('é'));
+    }
+
+    #[test]
+    fn tenantless_headers_stay_version_1() {
+        // The whole compatibility story: a header without a tenant table
+        // must serialise exactly as the previous release did, so the golden
+        // corpus verifies without re-pinning.
+        let bytes = encode(2, &[]);
+        assert_eq!(bytes[MAGIC.len()], FORMAT_VERSION as u8);
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.header().tenant_of_thread, None);
+    }
+
+    #[test]
+    fn tenant_tables_bump_the_version_and_round_trip() {
+        let mut h = header(4);
+        h.tenant_of_thread = Some(vec![0, 0, 1, 1]);
+        let mut w = TraceWriter::new(Vec::new(), &h).unwrap();
+        w.push(3, &TraceRecord::read(5, 640)).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes[MAGIC.len()], TENANT_FORMAT_VERSION as u8);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.header(), &h);
+        assert_eq!(r.next().unwrap(), Some((3, TraceRecord::read(5, 640))));
+        // The filtered reader parses the extended header too.
+        let mut t = ThreadReader::new(bytes.as_slice(), 3).unwrap();
+        assert_eq!(t.next().unwrap(), Some(TraceRecord::read(5, 640)));
+    }
+
+    #[test]
+    fn malformed_tenant_tables_are_typed_errors() {
+        // Writer side: a table that disagrees with the thread count or
+        // names an out-of-range tenant never reaches disk.
+        let mut short = header(3);
+        short.tenant_of_thread = Some(vec![0]);
+        assert!(matches!(
+            TraceWriter::new(Vec::new(), &short),
+            Err(TraceError::Corrupt(_))
+        ));
+        let mut wild = header(2);
+        wild.tenant_of_thread = Some(vec![0, 7]);
+        assert!(matches!(
+            TraceWriter::new(Vec::new(), &wild),
+            Err(TraceError::Corrupt(_))
+        ));
+        // Reader side: a version-2 header whose table lies about its length
+        // or tenant ids is corrupt, not a panic.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        varint::write_u64(&mut bytes, TENANT_FORMAT_VERSION as u64).unwrap();
+        varint::write_u64(&mut bytes, 2).unwrap(); // threads
+        varint::write_u64(&mut bytes, 1).unwrap(); // footprint
+        varint::write_u64(&mut bytes, 0).unwrap(); // seed
+        varint::write_u64(&mut bytes, 0).unwrap(); // empty source
+        let mut bad_len = bytes.clone();
+        varint::write_u64(&mut bad_len, 1).unwrap();
+        varint::write_u64(&mut bad_len, 0).unwrap();
+        assert!(matches!(
+            TraceReader::new(bad_len.as_slice()),
+            Err(TraceError::Corrupt(
+                "tenant table length does not match thread count"
+            ))
+        ));
+        let mut bad_id = bytes.clone();
+        varint::write_u64(&mut bad_id, 2).unwrap();
+        varint::write_u64(&mut bad_id, 0).unwrap();
+        varint::write_u64(&mut bad_id, 9).unwrap();
+        assert!(matches!(
+            TraceReader::new(bad_id.as_slice()),
+            Err(TraceError::Corrupt("tenant id out of range"))
+        ));
+        // And a table cut mid-varint is a truncation, never a panic.
+        varint::write_u64(&mut bytes, 2).unwrap();
+        varint::write_u64(&mut bytes, 0).unwrap();
+        assert!(matches!(
+            TraceReader::new(bytes.as_slice()),
+            Err(TraceError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -622,6 +761,33 @@ mod tests {
                 .collect();
             let bytes = encode(4, &records);
             prop_assert_eq!(decode_all(&bytes), records);
+        }
+
+        #[test]
+        fn tenant_tables_round_trip_for_arbitrary_partitions(
+            has_table in any::<bool>(),
+            partition in proptest::collection::vec(0u32..6, 6..7),
+            raw in proptest::collection::vec((0u32..6, any::<u64>(), any::<bool>()), 0..80),
+        ) {
+            // Any thread→tenant partition (or its absence) survives the
+            // header round trip, and absence keeps the file at version 1.
+            let table = has_table.then_some(partition);
+            let mut h = header(6);
+            h.tenant_of_thread = table.clone();
+            let mut w = TraceWriter::new(Vec::new(), &h).unwrap();
+            for (t, addr, write) in raw {
+                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                w.push(t, &TraceRecord::new(0, addr, kind, 64)).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            let expected_version = if table.is_some() {
+                TENANT_FORMAT_VERSION
+            } else {
+                FORMAT_VERSION
+            };
+            prop_assert_eq!(bytes[MAGIC.len()] as u32, expected_version);
+            let r = TraceReader::new(bytes.as_slice()).unwrap();
+            prop_assert_eq!(&r.header().tenant_of_thread, &table);
         }
 
         #[test]

@@ -33,6 +33,7 @@
 //!     footprint_bytes: 1 << 20,
 //!     seed: 7,
 //!     source: "doc-example".into(),
+//!     tenant_of_thread: None,
 //! };
 //! let mut writer = TraceWriter::new(Vec::new(), &header).unwrap();
 //! writer.push(0, &TraceRecord::read(12, 0x4000)).unwrap();
@@ -60,7 +61,7 @@ pub use compose::{BoxedSource, Concat, LoopN, Mix, Shift, Tenants};
 pub use error::TraceError;
 pub use format::{
     ThreadReader, TraceHeader, TraceReader, TraceWriter, FORMAT_VERSION, MAGIC,
-    MAX_SOURCE_IDENTITY_BYTES,
+    MAX_SOURCE_IDENTITY_BYTES, TENANT_FORMAT_VERSION,
 };
 pub use record::TraceRecord;
 pub use source::{record_to_file, Record, TraceFileSource, TraceSource, VecSource};

@@ -131,10 +131,12 @@ impl<S: TraceSource, W: Write + std::fmt::Debug> TraceSource for Record<S, W> {
 /// handle, so the engine can interleave threads in any order with O(1)
 /// memory per stream.
 ///
-/// An `.sbt` file is tenant-agnostic (tenancy is a composition-time
-/// concept), so every replayed stream reports [`TenantId::ZERO`]; to
-/// co-locate recorded traces as distinct tenants, stack them with
-/// [`crate::compose::Tenants`].
+/// A version-1 `.sbt` file is tenant-agnostic (tenancy is a
+/// composition-time concept), so every replayed stream reports
+/// [`TenantId::ZERO`]. A tenant-aware (version-2) file carries its
+/// thread→tenant table in the header, and replay reports each stream's
+/// recorded tenant — so a mix recorded from [`crate::compose::Tenants`]
+/// replays with the same tenant partition it was simulated with.
 #[derive(Debug)]
 pub struct TraceFileSource {
     path: PathBuf,
@@ -202,6 +204,16 @@ impl TraceSource for TraceFileSource {
         }
         self.cursors[thread as usize] = ThreadReader::open(&self.path, thread)?;
         Ok(true)
+    }
+
+    fn tenant_of(&self, thread: u32) -> TenantId {
+        match &self.header.tenant_of_thread {
+            Some(table) => table
+                .get(thread as usize)
+                .copied()
+                .map_or(TenantId::ZERO, TenantId),
+            None => TenantId::ZERO,
+        }
     }
 }
 
@@ -336,6 +348,7 @@ mod tests {
             footprint_bytes: 2 << 20,
             seed: 1,
             source: "vec:a".into(),
+            tenant_of_thread: None,
         };
         let writer = TraceWriter::create(&path, &header).unwrap();
         let mut tee = Record::new(VecSource::new("a", streams.clone()), writer);
@@ -381,6 +394,7 @@ mod tests {
             footprint_bytes: 1 << 20,
             seed: 0,
             source: "vec:b".into(),
+            tenant_of_thread: None,
         };
         let mut src = VecSource::new("b", vec![records(100, 0)]);
         let n = record_to_file(&mut src, &path, &header, 40).unwrap();
@@ -392,6 +406,42 @@ mod tests {
         }
         assert_eq!(count, 40);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tenant_aware_files_replay_their_recorded_partition() {
+        let path = tmp_path("tenants");
+        let header = TraceHeader {
+            threads: 4,
+            footprint_bytes: 1 << 20,
+            seed: 3,
+            source: "vec:t".into(),
+            tenant_of_thread: Some(vec![0, 0, 1, 1]),
+        };
+        let mut src = VecSource::new(
+            "t",
+            (0..4).map(|t| records(5, t * 4096)).collect::<Vec<_>>(),
+        );
+        record_to_file(&mut src, &path, &header, u64::MAX).unwrap();
+        let replay = TraceFileSource::open(&path).unwrap();
+        for (thread, want) in [(0u32, 0u32), (1, 0), (2, 1), (3, 1)] {
+            assert_eq!(replay.tenant_of(thread), TenantId(want));
+        }
+        let map = replay.tenant_map();
+        assert_eq!(map.tenant_count(), 2);
+        // A version-1 file (no table) stays single-tenant.
+        let mut agnostic = header.clone();
+        agnostic.tenant_of_thread = None;
+        let path1 = tmp_path("tenantless");
+        let mut src = VecSource::new(
+            "t",
+            (0..4).map(|t| records(5, t * 4096)).collect::<Vec<_>>(),
+        );
+        record_to_file(&mut src, &path1, &agnostic, u64::MAX).unwrap();
+        let replay1 = TraceFileSource::open(&path1).unwrap();
+        assert_eq!(replay1.tenant_map().tenant_count(), 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path1).ok();
     }
 
     #[test]

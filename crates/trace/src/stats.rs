@@ -245,6 +245,7 @@ mod tests {
             footprint_bytes: 1 << 20,
             seed: 3,
             source: "stat-test".into(),
+            tenant_of_thread: None,
         };
         let mut w = TraceWriter::new(Vec::new(), &header).unwrap();
         for i in 0..100u64 {

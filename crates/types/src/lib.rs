@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
     pub use crate::policy::{
         apply_policy_name, AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind,
-        PolicyConfig, PolicyOverride, TenantSchedKind,
+        PlacementPolicyKind, PolicyConfig, PolicyOverride, RebalancePolicyKind, TenantSchedKind,
     };
     pub use crate::stats::{Counter, LatencyHistogram, RatioBreakdown};
     pub use crate::tenant::{TenantId, TenantMap};
@@ -84,8 +84,8 @@ pub use config::{
 pub use error::ConfigError;
 pub use fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
 pub use policy::{
-    apply_policy_name, AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind, PolicyConfig,
-    PolicyOverride, TenantSchedKind,
+    apply_policy_name, AdmissionPolicyKind, EvictionPolicyKind, HotnessPolicyKind,
+    PlacementPolicyKind, PolicyConfig, PolicyOverride, RebalancePolicyKind, TenantSchedKind,
 };
 pub use stats::{Counter, LatencyHistogram, RatioBreakdown};
 pub use tenant::{TenantId, TenantMap};

@@ -9,6 +9,9 @@
 //! * [`HotnessPolicyKind`] — the controller's hot-page tracking seam
 //!   (`skybyte_ssd`),
 //! * [`TenantSchedKind`] — the engine's tenant-aware scheduling hook,
+//! * [`PlacementPolicyKind`] / [`RebalancePolicyKind`] — the fleet layer's
+//!   tenant-placement and cross-device rebalance seams
+//!   (`skybyte_sim::fleet`),
 //! * plus the pre-existing [`MigrationPolicyKind`](crate::MigrationPolicyKind)
 //!   and [`SchedPolicy`](crate::SchedPolicy), which the unified name registry
 //!   ([`PolicyOverride`]) folds into the same `--policy <name>` namespace.
@@ -20,7 +23,7 @@
 //! for bit.
 //!
 //! Every kind has a stable lowercase name (`Display`/`FromStr`), all names
-//! across all six dimensions are distinct, and [`PolicyOverride::from_str`]
+//! across all eight dimensions are distinct, and [`PolicyOverride::from_str`]
 //! rejects unknown names with the full valid list — one registry shared by
 //! every CLI that takes `--policy`.
 
@@ -237,12 +240,20 @@ pub enum TenantSchedKind {
     /// attributed SSD traffic, falling back to any runnable thread when the
     /// preferred tenants have none (work conserving).
     FairShare,
+    /// QoS by write-log pressure: prefer runnable threads of tenants within
+    /// their write-log partition quota, deprioritising tenants whose recent
+    /// log appends exceed their share (work conserving; partition
+    /// bookkeeping lives in `skybyte_cache::WriteLogPartitions`).
+    Qos,
 }
 
 impl TenantSchedKind {
     /// Every tenant-scheduler hook, in declaration order.
-    pub const ALL: [TenantSchedKind; 2] =
-        [TenantSchedKind::Passthrough, TenantSchedKind::FairShare];
+    pub const ALL: [TenantSchedKind; 3] = [
+        TenantSchedKind::Passthrough,
+        TenantSchedKind::FairShare,
+        TenantSchedKind::Qos,
+    ];
 }
 
 impl fmt::Display for TenantSchedKind {
@@ -250,6 +261,7 @@ impl fmt::Display for TenantSchedKind {
         let s = match self {
             TenantSchedKind::Passthrough => "passthrough",
             TenantSchedKind::FairShare => "fair-share",
+            TenantSchedKind::Qos => "qos",
         };
         f.write_str(s)
     }
@@ -259,6 +271,97 @@ impl FromStr for TenantSchedKind {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         lookup(&Self::ALL, s).ok_or_else(|| format!("unknown tenant scheduler '{s}'"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level placement and rebalancing
+// ---------------------------------------------------------------------------
+
+/// How a fleet assigns tenants to devices before any simulation runs
+/// (`skybyte_sim::fleet`).
+///
+/// Placement is a *fleet-level* dimension: it decides which device a tenant's
+/// demand lands on, and only then does each device compile down to an
+/// ordinary single-device run. It therefore never appears in a device
+/// fingerprint — two placements that agree on a device's tenant composition
+/// share that device's memoized result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicyKind {
+    /// First-fit bin packing by footprint: scan devices in index order and
+    /// place each tenant on the first device with enough remaining capacity.
+    /// The default.
+    #[default]
+    FirstFit,
+    /// Round-robin: tenant `i` goes to device `i mod devices`, ignoring
+    /// footprints (capacity violations surface in the fleet audit).
+    RoundRobin,
+    /// Interference-aware: sort tenants by their measured solo-vs-co-located
+    /// slowdown (the `--fig mt` probe) and greedily place the most
+    /// interference-prone tenants onto the devices with the least accumulated
+    /// interference score that still have capacity.
+    InterferenceAware,
+}
+
+impl PlacementPolicyKind {
+    /// Every placement policy, in declaration order.
+    pub const ALL: [PlacementPolicyKind; 3] = [
+        PlacementPolicyKind::FirstFit,
+        PlacementPolicyKind::RoundRobin,
+        PlacementPolicyKind::InterferenceAware,
+    ];
+}
+
+impl fmt::Display for PlacementPolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlacementPolicyKind::FirstFit => "first-fit",
+            PlacementPolicyKind::RoundRobin => "round-robin",
+            PlacementPolicyKind::InterferenceAware => "interference",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for PlacementPolicyKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        lookup(&Self::ALL, s).ok_or_else(|| format!("unknown placement policy '{s}'"))
+    }
+}
+
+/// How a fleet migrates tenants between rounds once per-tenant slowdowns are
+/// measured (`skybyte_sim::fleet`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RebalancePolicyKind {
+    /// Never move a tenant after initial placement. The default.
+    #[default]
+    Pin,
+    /// Each round, move the tenant with the worst measured slowdown to the
+    /// device with the lowest mean slowdown that can hold it.
+    SwapWorst,
+}
+
+impl RebalancePolicyKind {
+    /// Every rebalance policy, in declaration order.
+    pub const ALL: [RebalancePolicyKind; 2] =
+        [RebalancePolicyKind::Pin, RebalancePolicyKind::SwapWorst];
+}
+
+impl fmt::Display for RebalancePolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RebalancePolicyKind::Pin => "pin",
+            RebalancePolicyKind::SwapWorst => "swap-worst",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for RebalancePolicyKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        lookup(&Self::ALL, s).ok_or_else(|| format!("unknown rebalance policy '{s}'"))
     }
 }
 
@@ -306,7 +409,7 @@ impl PolicyConfig {
 /// One parsed `--policy <name>` override: a policy name resolved to the
 /// dimension it belongs to.
 ///
-/// This is the single name registry shared by every CLI: all six policy
+/// This is the single name registry shared by every CLI: all eight policy
 /// dimensions' names live in one flat, case-insensitive namespace (they are
 /// pairwise distinct — a test pins that), so `figures --policy clock
 /// --policy decay --policy tpp` needs no per-dimension flags.
@@ -324,6 +427,10 @@ pub enum PolicyOverride {
     Migration(MigrationPolicyKind),
     /// An OS thread-scheduling policy.
     Sched(SchedPolicy),
+    /// A fleet tenant-placement policy.
+    Placement(PlacementPolicyKind),
+    /// A fleet rebalance policy.
+    Rebalance(RebalancePolicyKind),
 }
 
 impl PolicyOverride {
@@ -332,7 +439,11 @@ impl PolicyOverride {
     /// Note that, exactly like setting the field directly, an override can
     /// be inert for a given variant: a migration policy is only exercised
     /// when `promotion_enable` is set, and the tenant scheduler only matters
-    /// for multi-tenant runs.
+    /// for multi-tenant runs. The two fleet dimensions (placement and
+    /// rebalance) live *above* the device — they are consumed by
+    /// `skybyte_sim::fleet` when compiling a `FleetConfig`, never by a
+    /// single-device `SimConfig`, so applying them here is a no-op by design
+    /// (a device fingerprint must not depend on where the fleet placed it).
     pub fn apply(self, cfg: &mut SimConfig) {
         match self {
             PolicyOverride::Eviction(k) => cfg.policy.eviction = k,
@@ -341,6 +452,7 @@ impl PolicyOverride {
             PolicyOverride::TenantSched(k) => cfg.policy.tenant_sched = k,
             PolicyOverride::Migration(k) => cfg.migration.policy = k,
             PolicyOverride::Sched(k) => cfg.sched_policy = k,
+            PolicyOverride::Placement(_) | PolicyOverride::Rebalance(_) => {}
         }
     }
 
@@ -354,6 +466,8 @@ impl PolicyOverride {
         names.extend(TenantSchedKind::ALL.iter().map(|k| k.to_string()));
         names.extend(MigrationPolicyKind::ALL.iter().map(|k| k.to_string()));
         names.extend(SchedPolicy::ALL.iter().map(|k| k.to_string()));
+        names.extend(PlacementPolicyKind::ALL.iter().map(|k| k.to_string()));
+        names.extend(RebalancePolicyKind::ALL.iter().map(|k| k.to_string()));
         names
     }
 }
@@ -367,6 +481,8 @@ impl fmt::Display for PolicyOverride {
             PolicyOverride::TenantSched(k) => k.fmt(f),
             PolicyOverride::Migration(k) => k.fmt(f),
             PolicyOverride::Sched(k) => k.fmt(f),
+            PolicyOverride::Placement(k) => k.fmt(f),
+            PolicyOverride::Rebalance(k) => k.fmt(f),
         }
     }
 }
@@ -392,6 +508,12 @@ impl FromStr for PolicyOverride {
         }
         if let Some(k) = lookup(&SchedPolicy::ALL, s) {
             return Ok(PolicyOverride::Sched(k));
+        }
+        if let Some(k) = lookup(&PlacementPolicyKind::ALL, s) {
+            return Ok(PolicyOverride::Placement(k));
+        }
+        if let Some(k) = lookup(&RebalancePolicyKind::ALL, s) {
+            return Ok(PolicyOverride::Rebalance(k));
         }
         Err(format!(
             "unknown policy '{s}' (valid: {})",
@@ -476,6 +598,30 @@ mod tests {
         assert_eq!(cfg.migration.policy, MigrationPolicyKind::Tpp);
         assert_eq!(cfg.sched_policy, SchedPolicy::RoundRobin);
         assert!(apply_policy_name(&mut cfg, "nope").is_err());
+    }
+
+    #[test]
+    fn fleet_dimensions_parse_but_leave_device_config_untouched() {
+        // Placement and rebalance are fleet-level: they resolve through the
+        // registry, but applying them to a SimConfig must be a no-op so a
+        // device fingerprint never depends on where the fleet placed it.
+        let mut cfg = SimConfig::default();
+        let before = format!("{cfg:?}");
+        apply_policy_name(&mut cfg, "interference").unwrap();
+        apply_policy_name(&mut cfg, "swap-worst").unwrap();
+        assert_eq!(format!("{cfg:?}"), before);
+        assert_eq!(
+            "round-robin".parse::<PolicyOverride>().unwrap(),
+            PolicyOverride::Placement(PlacementPolicyKind::RoundRobin),
+            "'round-robin' (placement) must stay distinct from 'rr' (OS sched)"
+        );
+        assert_eq!(
+            "pin".parse::<RebalancePolicyKind>().unwrap(),
+            RebalancePolicyKind::Pin
+        );
+        assert!("first-fit".parse::<PlacementPolicyKind>().is_ok());
+        assert!("nope".parse::<PlacementPolicyKind>().is_err());
+        assert!("nope".parse::<RebalancePolicyKind>().is_err());
     }
 
     #[test]
